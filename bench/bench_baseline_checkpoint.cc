@@ -1,0 +1,69 @@
+// Baseline comparison: checkpoint-restart vs the paper's schemes,
+// using measured overheads and footprints in the expected-completion
+// -time model (core/baselines.h). Reproduces the paper's argument
+// that check-pointing "comes with significant overhead costs due to
+// the large amounts of data GPGPU applications typically process".
+#include <iostream>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+#include "core/baselines.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kMedium);
+  bench::PrintHeader(
+      "Baseline: checkpoint-restart vs detect/correct",
+      "Expected completion time (units of one fault-free run) vs "
+      "per-run fault probability. Checkpoint cost = footprint / PCIe "
+      "(16 B/cycle) over the measured run length; interval 25% of the "
+      "run; restore = one checkpoint cost.",
+      args, 0, scale);
+
+  const sim::GpuConfig cfg = bench::MakeGpuConfig(args);
+  constexpr double kPcieBytesPerCycle = 16.0;  // ~22GB/s at 1.4GHz
+
+  TextTable t({"app", "p(fault)", "detect+rerun", "correct",
+               "checkpoint-restart"});
+  for (const auto& name :
+       bench::SelectApps(args, {std::string("P-BICG"), "C-NN", "A-SRAD"})) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, cfg);
+    const auto hot =
+        static_cast<unsigned>(profile.hot.hot_objects.size());
+
+    const auto base =
+        apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+    const auto base_stats = apps::RunTiming(*app, profile, cfg, base.plan);
+    auto over = [&](sim::Scheme s) {
+      const auto setup = apps::MakeProtectionSetup(*app, profile, s, hot);
+      return static_cast<double>(
+                 apps::RunTiming(*app, profile, cfg, setup.plan).cycles) /
+                 static_cast<double>(base_stats.cycles) -
+             1.0;
+    };
+    const double o_det = over(sim::Scheme::kDetectOnly);
+    const double o_corr = over(sim::Scheme::kDetectCorrect);
+    const double ckpt_cost = core::RecoveryModel::CheckpointCost(
+        profile.dev->space().TotalObjectBytes(), kPcieBytesPerCycle,
+        base_stats.cycles);
+
+    for (const double p : {0.001, 0.01, 0.1}) {
+      t.NewRow()
+          .Add(name)
+          .Add(p, 3)
+          .Add(core::RecoveryModel::DetectRerun(p, o_det), 4)
+          .Add(core::RecoveryModel::Correct(o_corr), 4)
+          .Add(core::RecoveryModel::CheckpointRestart(p, 0.25, ckpt_cost,
+                                                      ckpt_cost),
+               4);
+    }
+  }
+  bench::Emit(t, args);
+  std::cout
+      << "expectation: correction dominates at every fault rate; "
+         "checkpointing pays its footprint tax even when nothing "
+         "fails, and the tax grows with the data size.\n";
+  return 0;
+}

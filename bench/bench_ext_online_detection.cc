@@ -1,0 +1,111 @@
+// Extension: online hot-block detection. The paper identifies hot
+// data offline (source analysis / profiling). A small Space-Saving
+// counter table can do it at runtime; this bench measures, per app,
+// how well the online top-K blocks agree with the offline hot set.
+#include <algorithm>
+#include <iostream>
+#include <unordered_set>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+#include "core/online_detector.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kSmall);
+  bench::PrintHeader(
+      "Extension: online hot-block detection (Space-Saving table)",
+      "Recall = fraction of offline hot blocks present in the online "
+      "table's hot set; precision = fraction of the online hot set "
+      "that is offline-hot. Table capacity 64 entries.",
+      args, 0, scale);
+
+  TextTable t({"app", "offline hot blocks", "online hot blocks", "recall %",
+               "precision %", "objects identified"});
+  for (const auto& name :
+       bench::SelectApps(args, apps::HotPatternAppNames())) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, bench::MakeGpuConfig(args));
+    const auto split = core::SplitBlocks(profile.hot, profile.profiler,
+                                         profile.dev->space());
+    const std::unordered_set<std::uint64_t> offline(split.hot.begin(),
+                                                    split.hot.end());
+    if (offline.empty()) continue;
+
+    // Feed the detector the same access stream the profiler saw, at
+    // block granularity weighted by thread-level reads (the order is
+    // immaterial for frequency estimation; interleave by round-robin
+    // over blocks to avoid bursts favoring any block).
+    core::OnlineHotDetector detector(64);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks(
+        profile.profiler.blocks().size());
+    std::size_t i = 0;
+    for (const auto& [block, bp] : profile.profiler.blocks()) {
+      blocks[i++] = {block, bp.reads};
+    }
+    std::sort(blocks.begin(), blocks.end());
+    bool any = true;
+    std::uint64_t round = 0;
+    // Round-robin: each pass feeds one observation per block with
+    // remaining weight, approximating an interleaved access stream.
+    // Cap the per-block weight contribution per round to keep this
+    // O(total/step).
+    const std::uint64_t step = std::max<std::uint64_t>(
+        1, profile.profiler.TotalReads() / 200000);
+    while (any) {
+      any = false;
+      for (auto& [block, remaining] : blocks) {
+        if (remaining == 0) continue;
+        const std::uint64_t take = std::min(remaining, step);
+        for (std::uint64_t k = 0; k < std::min<std::uint64_t>(take, 4); ++k) {
+          detector.Observe(block);
+        }
+        remaining -= take;
+        any = true;
+      }
+      ++round;
+    }
+
+    const auto online = detector.HotBlocks(8.0);
+    std::size_t hit = 0;
+    for (std::uint64_t b : online) hit += offline.contains(b) ? 1 : 0;
+    std::size_t covered = 0;
+    for (std::uint64_t b : offline) {
+      covered += std::find(online.begin(), online.end(), b) != online.end()
+                     ? 1
+                     : 0;
+    }
+    // Object-level view: which hot *objects* does the online table
+    // point at? (A partial block set still identifies the object.)
+    std::unordered_set<std::string> online_objs;
+    for (std::uint64_t b : online) {
+      if (const auto owner = profile.dev->space().OwnerOf(b * kBlockSize)) {
+        online_objs.insert(profile.dev->space().Object(*owner).name);
+      }
+    }
+    std::size_t obj_hits = 0;
+    for (const auto& op : profile.hot.hot_objects) {
+      obj_hits += online_objs.contains(op.name) ? 1 : 0;
+    }
+    t.NewRow()
+        .Add(name)
+        .Add(offline.size())
+        .Add(online.size())
+        .Add(offline.empty() ? 0.0
+                             : 100.0 * static_cast<double>(covered) /
+                                   static_cast<double>(offline.size()),
+             1)
+        .Add(online.empty() ? 0.0
+                            : 100.0 * static_cast<double>(hit) /
+                                  static_cast<double>(online.size()),
+             1)
+        .Add(std::to_string(obj_hits) + "/" +
+             std::to_string(profile.hot.hot_objects.size()));
+  }
+  bench::Emit(t, args);
+  std::cout << "expectation: high recall with a 64-entry table — the hot "
+               "sets are small and extremely frequent, exactly the regime "
+               "Space-Saving guarantees.\n";
+  return 0;
+}

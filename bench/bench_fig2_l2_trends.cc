@@ -1,0 +1,45 @@
+// Fig. 2: L2 cache size trends for NVIDIA and AMD GPUs — the paper's
+// motivation that on-chip cache capacity (and with it the multi-bit
+// fault surface) keeps growing. Published product specifications.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 2",
+                     "L2 cache size across GPU generations (published specs; "
+                     "static data, no simulation).",
+                     args, 0, apps::AppScale::kSmall);
+
+  struct Row {
+    const char* vendor;
+    const char* gpu;
+    int year;
+    double l2_mb;
+  };
+  static constexpr Row rows[] = {
+      {"NVIDIA", "Fermi GTX 480", 2010, 0.75},
+      {"NVIDIA", "Kepler GTX 780", 2013, 1.5},
+      {"NVIDIA", "Maxwell GTX 980", 2014, 2.0},
+      {"NVIDIA", "Pascal P100", 2016, 4.0},
+      {"NVIDIA", "Volta V100", 2017, 6.0},
+      {"NVIDIA", "Turing RTX 2080 Ti", 2018, 5.5},
+      {"NVIDIA", "Ampere A100", 2020, 40.0},
+      {"AMD", "Tahiti HD 7970", 2012, 0.768},
+      {"AMD", "Hawaii R9 290X", 2013, 1.0},
+      {"AMD", "Fiji Fury X", 2015, 2.0},
+      {"AMD", "Vega 64", 2017, 4.0},
+      {"AMD", "MI100", 2020, 8.0},
+  };
+
+  TextTable t({"vendor", "gpu", "year", "L2 (MB)"});
+  for (const auto& r : rows) {
+    t.NewRow().Add(r.vendor).Add(r.gpu).Add(r.year).Add(r.l2_mb, 3);
+  }
+  bench::Emit(t, args);
+  std::cout << "shape check: Ampere A100 L2 is ~10x the previous NVIDIA "
+               "generation, as the paper's introduction cites.\n";
+  return 0;
+}

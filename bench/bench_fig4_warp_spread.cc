@@ -1,0 +1,53 @@
+// Fig. 4: percentage of active warps accessing each data memory block,
+// with blocks sorted by total RD accesses. The paper's observation II:
+// the most-read blocks are also shared by (almost) all active warps.
+//
+// We print the mean warp share of the top-K most-read blocks versus
+// the rest, plus quantiles of the share curve.
+#include <iostream>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kSmall);
+  bench::PrintHeader(
+      "Figure 4",
+      "Warp sharing (percent of a kernel's active warps touching a block) "
+      "for the most-read blocks vs. the rest.",
+      args, 0, scale);
+
+  const auto names = bench::SelectApps(args, apps::HotPatternAppNames());
+
+  TextTable t({"app", "top1% share%", "top10% share%", "rest share%",
+               "hottest block share%"});
+  for (const auto& name : names) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, bench::MakeGpuConfig(args));
+    auto sorted = profile.profiler.SortedByReads();  // ascending
+    if (sorted.empty()) continue;
+    const std::size_t n = sorted.size();
+    auto mean_share = [&](std::size_t lo, std::size_t hi) {
+      if (lo >= hi) return 0.0;
+      double s = 0;
+      for (std::size_t i = lo; i < hi; ++i) s += sorted[i].second.warp_share;
+      return 100.0 * s / static_cast<double>(hi - lo);
+    };
+    const std::size_t top1 = std::max<std::size_t>(1, n / 100);
+    const std::size_t top10 = std::max<std::size_t>(1, n / 10);
+    t.NewRow()
+        .Add(name)
+        .Add(mean_share(n - top1, n), 1)
+        .Add(mean_share(n - top10, n), 1)
+        .Add(mean_share(0, n - top10), 1)
+        .Add(100.0 * sorted.back().second.warp_share, 1);
+  }
+  bench::Emit(t, args);
+  std::cout
+      << "shape check vs paper: top blocks are shared by a much larger "
+         "fraction of warps than the rest; for C-NN and A-SRAD the top "
+         "share is high but below 100% (Fig. 4(c)-(d)).\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table I: key configuration parameters of the simulated GPU.
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/config.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const sim::GpuConfig cfg = bench::MakeGpuConfig(args);
+  bench::PrintHeader("Table I", "Key configuration parameters of the simulated GPU.",
+                     args, 0, apps::AppScale::kSmall);
+
+  TextTable t({"parameter", "value"});
+  t.NewRow().Add("SMs").Add(cfg.num_sms);
+  t.NewRow().Add("SIMT width").Add(std::uint64_t{kWarpSize});
+  t.NewRow().Add("max CTAs / SM").Add(cfg.max_ctas_per_sm);
+  t.NewRow().Add("max warps / SM").Add(cfg.max_warps_per_sm);
+  t.NewRow().Add("L1 data cache / SM").Add(
+      std::to_string(cfg.l1_size_bytes / 1024) + "KB " +
+      std::to_string(cfg.l1_ways) + "-way, 128B lines");
+  t.NewRow().Add("L1 MSHRs").Add(cfg.l1_mshrs);
+  t.NewRow().Add("L2 cache").Add(
+      std::to_string(cfg.l2_size_bytes / 1024) + "KB/partition x " +
+      std::to_string(cfg.num_partitions) + " = " +
+      std::to_string(cfg.l2_size_bytes * cfg.num_partitions / 1024) +
+      "KB total, " + std::to_string(cfg.l2_ways) + "-way");
+  t.NewRow().Add("memory channels").Add(cfg.num_partitions);
+  t.NewRow().Add("DRAM banks / channel").Add(cfg.dram_banks);
+  t.NewRow().Add("DRAM scheduling").Add("FR-FCFS");
+  t.NewRow().Add("DRAM tRCD/tRP/tCL (core cyc)").Add(
+      std::to_string(cfg.t_rcd) + "/" + std::to_string(cfg.t_rp) + "/" +
+      std::to_string(cfg.t_cl));
+  t.NewRow().Add("interconnect latency (cyc)").Add(cfg.icnt_latency);
+  t.NewRow().Add("replica addr table").Add(
+      std::to_string(cfg.replica_addr_table_bytes) + "B (" +
+      std::to_string(cfg.MaxProtectedObjects(false)) + " objs detect / " +
+      std::to_string(cfg.MaxProtectedObjects(true)) + " objs correct)");
+  t.NewRow().Add("PC table entries").Add(cfg.pc_table_entries);
+  t.NewRow().Add("compare queue entries").Add(cfg.compare_queue_entries);
+  t.NewRow().Add("comparator width").Add(
+      std::to_string(cfg.comparator_bytes_per_cycle * 8) + " bits");
+  bench::Emit(t, args);
+  return 0;
+}

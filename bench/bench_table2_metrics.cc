@@ -1,0 +1,28 @@
+// Table II: output formats and error metrics for the studied
+// applications, as implemented by each App's metric.
+#include <iostream>
+
+#include "apps/registry.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table II", "Output error metrics for the applications.",
+                     args, 0, apps::AppScale::kSmall);
+
+  TextTable t({"application", "output objects", "error metric",
+               "SDC threshold"});
+  for (const auto& name : apps::AllAppNames()) {
+    auto app = apps::MakeApp(name, apps::AppScale::kTiny);
+    std::string outs;
+    for (const auto& o : app->OutputObjects()) {
+      if (!outs.empty()) outs += ", ";
+      outs += o;
+    }
+    t.NewRow().Add(name).Add(outs).Add(app->MetricName()).Add(
+        "> " + FormatNum(app->SdcThreshold(), 4));
+  }
+  bench::Emit(t, args);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Section V-C: the reliability/performance trade-off headline.
+// Measures, per app and averaged: performance overhead at hot-only and
+// full coverage (both schemes) and the SDC reduction from protecting
+// the hot objects under miss-weighted injection.
+#include <iostream>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+#include "fault/campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kSmall);
+  const unsigned base_runs = args.runs ? args.runs : 80;
+  bench::PrintHeader(
+      "Section V-C trade-off summary",
+      "Overhead (timing sim) and SDC reduction (fault campaigns, "
+      "miss-weighted, 4-bit faults in 5 blocks) when protecting the hot "
+      "objects only vs. all read-only inputs.",
+      args, base_runs, scale);
+
+  const sim::GpuConfig cfg = bench::MakeGpuConfig(args);
+  TextTable t({"app", "det hot ovh%", "corr hot ovh%", "det all ovh%",
+               "corr all ovh%", "baseline SDC", "protected SDC",
+               "SDC drop %"});
+  double sum_det_hot = 0, sum_corr_hot = 0, sum_det_all = 0, sum_corr_all = 0;
+  std::uint64_t total_base_sdc = 0, total_prot_sdc = 0;
+  unsigned napps = 0;
+
+  for (const auto& name :
+       bench::SelectApps(args, apps::PaperAppNames())) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, cfg);
+    const auto hot =
+        static_cast<unsigned>(profile.hot.hot_objects.size());
+    const auto all =
+        static_cast<unsigned>(profile.hot.coverage_order.size());
+    if (hot == 0) continue;
+
+    auto overhead = [&](sim::Scheme s, unsigned cover) {
+      const auto setup = apps::MakeProtectionSetup(*app, profile, s, cover);
+      const auto st = apps::RunTiming(*app, profile, cfg, setup.plan);
+      return static_cast<double>(st.cycles);
+    };
+    const double base_cycles = overhead(sim::Scheme::kNone, 0);
+    const double det_hot =
+        100.0 * (overhead(sim::Scheme::kDetectOnly, hot) / base_cycles - 1.0);
+    const double corr_hot =
+        100.0 *
+        (overhead(sim::Scheme::kDetectCorrect, hot) / base_cycles - 1.0);
+    const double det_all =
+        100.0 * (overhead(sim::Scheme::kDetectOnly, all) / base_cycles - 1.0);
+    const double corr_all =
+        100.0 *
+        (overhead(sim::Scheme::kDetectCorrect, all) / base_cycles - 1.0);
+
+    fault::CampaignConfig cc;
+    cc.target = fault::Target::kMissWeighted;
+    cc.faulty_blocks = 5;
+    cc.bits_per_block = 4;
+    cc.runs = name == "C-NN" ? std::max(20u, base_runs / 2) : base_runs;
+    cc.seed = args.seed;
+    fault::FaultCampaign baseline(*app, profile, sim::Scheme::kNone, 0);
+    const auto base_counts = baseline.Run(cc);
+    fault::FaultCampaign prot(*app, profile, sim::Scheme::kDetectCorrect,
+                              hot);
+    const auto prot_counts = prot.Run(cc);
+
+    const double drop =
+        base_counts.sdc == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(prot_counts.sdc) /
+                                 static_cast<double>(base_counts.sdc));
+    t.NewRow()
+        .Add(name)
+        .Add(det_hot, 2)
+        .Add(corr_hot, 2)
+        .Add(det_all, 2)
+        .Add(corr_all, 2)
+        .Add(base_counts.sdc)
+        .Add(prot_counts.sdc)
+        .Add(drop, 1);
+    sum_det_hot += det_hot;
+    sum_corr_hot += corr_hot;
+    sum_det_all += det_all;
+    sum_corr_all += corr_all;
+    total_base_sdc += base_counts.sdc;
+    total_prot_sdc += prot_counts.sdc;
+    ++napps;
+  }
+  bench::Emit(t, args);
+  if (napps > 0 && total_base_sdc > 0) {
+    std::cout << "averages: det hot " << FormatNum(sum_det_hot / napps, 2)
+              << "% (paper 1.2%) | corr hot "
+              << FormatNum(sum_corr_hot / napps, 2)
+              << "% (paper 3.4%) | det all "
+              << FormatNum(sum_det_all / napps, 2)
+              << "% (paper 40.65%) | corr all "
+              << FormatNum(sum_corr_all / napps, 2)
+              << "% (paper 74.24%) | aggregate SDC drop "
+              << FormatNum(100.0 * (1.0 - static_cast<double>(total_prot_sdc) /
+                                              total_base_sdc),
+                           2)
+              << "% (paper 98.97%)\n";
+  }
+  return 0;
+}

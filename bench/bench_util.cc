@@ -1,0 +1,103 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/config_io.h"
+
+namespace dcrm::bench {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, sep)) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--runs=")) {
+      args.runs = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value("--seed=")) {
+      args.seed = std::stoull(*v);
+    } else if (auto v = value("--scale=")) {
+      if (*v == "tiny") {
+        args.scale = apps::AppScale::kTiny;
+      } else if (*v == "small") {
+        args.scale = apps::AppScale::kSmall;
+      } else if (*v == "medium") {
+        args.scale = apps::AppScale::kMedium;
+      } else {
+        throw std::invalid_argument("bad --scale value: " + *v);
+      }
+    } else if (auto v = value("--apps=")) {
+      args.apps = Split(*v, ',');
+    } else if (auto v = value("--config=")) {
+      args.config_path = *v;
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "flags: --runs=N --seed=N --scale=tiny|small|medium "
+                   "--apps=A,B --config=FILE --csv\n";
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown flag: " + a);
+    }
+  }
+  return args;
+}
+
+sim::GpuConfig MakeGpuConfig(const BenchArgs& args) {
+  sim::GpuConfig cfg;
+  if (args.config_path) {
+    cfg = sim::LoadGpuConfigFile(*args.config_path, cfg);
+  }
+  return cfg;
+}
+
+std::vector<std::string> SelectApps(const BenchArgs& args,
+                                    const std::vector<std::string>& defaults) {
+  return args.apps.empty() ? defaults : args.apps;
+}
+
+const char* ScaleName(apps::AppScale s) {
+  switch (s) {
+    case apps::AppScale::kTiny:
+      return "tiny";
+    case apps::AppScale::kSmall:
+      return "small";
+    case apps::AppScale::kMedium:
+      return "medium";
+  }
+  return "?";
+}
+
+void PrintHeader(const std::string& title, const std::string& what,
+                 const BenchArgs& args, unsigned effective_runs,
+                 apps::AppScale effective_scale) {
+  std::cout << "=== " << title << " ===\n"
+            << what << "\n"
+            << "params: scale=" << ScaleName(effective_scale)
+            << " seed=" << args.seed;
+  if (effective_runs > 0) std::cout << " runs/config=" << effective_runs;
+  std::cout << "\n\n";
+}
+
+void Emit(const TextTable& table, const BenchArgs& args) {
+  std::cout << (args.csv ? table.RenderCsv() : table.Render()) << "\n";
+}
+
+}  // namespace dcrm::bench

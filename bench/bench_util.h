@@ -1,0 +1,50 @@
+// Shared command-line handling and reporting for the figure/table
+// reproduction benches. Every bench prints its parameters (seed, run
+// counts, scale) so results are reproducible, and accepts:
+//   --runs=N          fault-injection runs per configuration
+//   --seed=N          RNG seed
+//   --scale=tiny|small|medium   workload scale
+//   --apps=A,B,C      restrict to a subset of applications
+//   --config=FILE     hardware config file (see sim/config_io.h)
+//   --csv             emit CSV instead of aligned tables
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "common/table.h"
+#include "sim/config.h"
+
+namespace dcrm::bench {
+
+struct BenchArgs {
+  unsigned runs = 0;  // 0 = bench-specific default
+  std::uint64_t seed = 2026;
+  std::optional<apps::AppScale> scale;
+  std::vector<std::string> apps;
+  std::optional<std::string> config_path;  // --config=FILE (config_io)
+  bool csv = false;
+};
+
+BenchArgs ParseArgs(int argc, char** argv);
+
+// Table I defaults, overlaid with --config=FILE if given.
+sim::GpuConfig MakeGpuConfig(const BenchArgs& args);
+
+// Applications to use: --apps subset if given, else `defaults`.
+std::vector<std::string> SelectApps(const BenchArgs& args,
+                                    const std::vector<std::string>& defaults);
+
+void PrintHeader(const std::string& title, const std::string& what,
+                 const BenchArgs& args, unsigned effective_runs,
+                 apps::AppScale effective_scale);
+
+void Emit(const TextTable& table, const BenchArgs& args);
+
+const char* ScaleName(apps::AppScale s);
+
+}  // namespace dcrm::bench

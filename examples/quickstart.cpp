@@ -1,0 +1,85 @@
+// Quickstart: the full data-centric reliability pipeline on one
+// application, in ~60 lines of user code.
+//
+//   1. profile the app (access counts, warp sharing, L1-miss profile)
+//   2. identify the hot data objects
+//   3. protect them (triplication + majority vote)
+//   4. inject a multi-bit fault into a hot block and watch the vote
+//      correct it
+//   5. compare the timing overhead against the unprotected baseline
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "fault/campaign.h"
+
+int main() {
+  using namespace dcrm;
+
+  // 1. Pick an application and profile it once, fault-free.
+  auto app = apps::MakeApp("P-BICG", apps::AppScale::kSmall);
+  const sim::GpuConfig gpu_config;  // Table I defaults
+  const auto profile = apps::ProfileApp(*app, gpu_config);
+
+  std::printf("== %s ==\n", app->Name().c_str());
+  std::printf("hot access pattern: %s (max/median block reads = %.0fx)\n",
+              profile.hot.has_hot_pattern ? "yes" : "no",
+              profile.hot.max_median_ratio);
+
+  // 2. The classifier found the hot data objects (Table III's bold set).
+  std::printf("hot data objects:");
+  for (const auto& obj : profile.hot.hot_objects) {
+    std::printf(" %s(%.2f%% of memory)", obj.name.c_str(),
+                100.0 * static_cast<double>(obj.size_bytes) /
+                    static_cast<double>(
+                        profile.dev->space().TotalObjectBytes()));
+  }
+  std::printf("\n");
+
+  // 3. Protect the hot objects with detection-and-correction
+  //    (triplication + majority vote at the LD/ST unit).
+  const auto hot_count =
+      static_cast<unsigned>(profile.hot.hot_objects.size());
+  fault::FaultCampaign protect(*app, profile, sim::Scheme::kDetectCorrect,
+                               hot_count);
+
+  // 4. Inject a 4-bit stuck-at fault into a hot memory block and run.
+  Rng rng(7);
+  const auto& sp = profile.dev->space();
+  const Addr hot_base =
+      sp.Object(profile.hot.hot_objects[0].id).base;
+  const auto faults = mem::MakeWordFaults(hot_base, /*num_bits=*/4, rng);
+  const fault::Outcome outcome = protect.RunOnce(faults);
+  std::printf("4-bit fault in hot block '%s' under protection -> %s\n",
+              profile.hot.hot_objects[0].name.c_str(),
+              outcome == fault::Outcome::kMasked ? "masked (vote corrected)"
+                                                 : "NOT masked?!");
+
+  // ...and the same fault without protection:
+  fault::FaultCampaign unprotected(*app, profile, sim::Scheme::kNone, 0);
+  const fault::Outcome bare = unprotected.RunOnce(faults);
+  std::printf("same fault without protection -> %s\n",
+              bare == fault::Outcome::kSdc ? "silent data corruption"
+                                           : "masked");
+
+  // 5. What does the protection cost? Replay the traces through the
+  //    cycle-level GPU model with and without the scheme.
+  const auto base =
+      apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+  const auto base_stats = apps::RunTiming(*app, profile, gpu_config, base.plan);
+  const auto prot = apps::MakeProtectionSetup(
+      *app, profile, sim::Scheme::kDetectCorrect, hot_count);
+  const auto prot_stats = apps::RunTiming(*app, profile, gpu_config, prot.plan);
+  std::printf("timing: baseline %llu cycles, protected %llu cycles "
+              "(%.2f%% overhead, %llu replica transactions)\n",
+              static_cast<unsigned long long>(base_stats.cycles),
+              static_cast<unsigned long long>(prot_stats.cycles),
+              100.0 * (static_cast<double>(prot_stats.cycles) /
+                           static_cast<double>(base_stats.cycles) -
+                       1.0),
+              static_cast<unsigned long long>(
+                  prot_stats.replica_transactions));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reliability/performance trade-off explorer (Section V-C): for one
+// application, sweep the number of protected objects and print, side
+// by side, the timing overhead and the residual SDC rate — the curve
+// a deployment engineer would use to pick an operating point.
+//
+// Usage: tradeoff_explorer [app-name] [runs]
+//   e.g. ./build/examples/tradeoff_explorer P-MVT 200
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "fault/campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const std::string name = argc > 1 ? argv[1] : "P-BICG";
+  const unsigned runs =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 100;
+
+  auto app = apps::MakeApp(name, apps::AppScale::kSmall);
+  const sim::GpuConfig cfg;
+  const auto profile = apps::ProfileApp(*app, cfg);
+  const auto max_cover =
+      static_cast<unsigned>(profile.hot.coverage_order.size());
+  const auto hot_cover =
+      static_cast<unsigned>(profile.hot.hot_objects.size());
+
+  std::printf("%s: %u read-only input objects, %u classified hot\n",
+              name.c_str(), max_cover, hot_cover);
+  std::printf("%-8s %-16s %-12s %-12s %-10s %-10s\n", "cover", "scheme",
+              "exec time", "L2 traffic", "SDC", "detected");
+
+  fault::CampaignConfig cc;
+  cc.target = fault::Target::kMissWeighted;
+  cc.faulty_blocks = 5;
+  cc.bits_per_block = 3;
+  cc.runs = runs;
+  cc.seed = 42;
+
+  const auto base =
+      apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+  const auto base_stats = apps::RunTiming(*app, profile, cfg, base.plan);
+  {
+    fault::FaultCampaign campaign(*app, profile, sim::Scheme::kNone, 0);
+    const auto counts = campaign.Run(cc);
+    std::printf("%-8u %-16s %-12s %-12s %-10u %-10u\n", 0u, "baseline",
+                "1.000", "1.000", counts.sdc, counts.detected);
+  }
+  for (const sim::Scheme scheme :
+       {sim::Scheme::kDetectOnly, sim::Scheme::kDetectCorrect}) {
+    for (unsigned cover = 1; cover <= max_cover; ++cover) {
+      const auto setup =
+          apps::MakeProtectionSetup(*app, profile, scheme, cover);
+      const auto stats = apps::RunTiming(*app, profile, cfg, setup.plan);
+      fault::FaultCampaign campaign(*app, profile, scheme, cover);
+      const auto counts = campaign.Run(cc);
+      std::printf("%-8u %-16s %-12.4f %-12.4f %-10u %-10u%s\n", cover,
+                  sim::SchemeName(scheme),
+                  static_cast<double>(stats.cycles) /
+                      static_cast<double>(base_stats.cycles),
+                  static_cast<double>(stats.L1MissedAccesses()) /
+                      static_cast<double>(base_stats.L1MissedAccesses()),
+                  counts.sdc, counts.detected,
+                  cover == hot_cover ? "   <- hot cover" : "");
+    }
+  }
+  std::printf("\npick the smallest cover whose SDC column is acceptable; "
+              "the paper's answer is the hot cover.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs every bench with wall-clock-friendly parameters (each bench
+# prints the parameters it ran with). Drop the flags for paper-strength
+# run counts and larger workloads.
+set -u
+B=build/bench
+run() { echo "========== $*"; "$@"; echo; }
+run $B/bench_table1_config
+run $B/bench_table2_metrics
+run $B/bench_fig2_l2_trends
+run $B/bench_fig3_access_pattern
+run $B/bench_fig4_warp_spread
+run $B/bench_table3_objects
+run $B/bench_fig6_hot_vs_rest --runs=60
+run $B/bench_fig7_performance --scale=small
+run $B/bench_fig9_reliability --runs=40
+run $B/bench_tradeoff_summary --runs=50
+run $B/bench_ablation_lazy --scale=small
+run $B/bench_ablation_secded --runs=60
+run $B/bench_ablation_placement --scale=small
+run $B/bench_baseline_rmt --scale=small
+run $B/bench_baseline_checkpoint --scale=small
+run $B/bench_ext_fault_shapes --runs=50
+run $B/bench_ext_online_detection
+run $B/bench_ext_writable --runs=50
+run $B/bench_micro_components --benchmark_min_time=0.1
+echo ALL_BENCH_SWEEP_DONE

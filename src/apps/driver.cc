@@ -1,0 +1,135 @@
+#include "apps/driver.h"
+
+#include "exec/launcher.h"
+#include "trace/trace_builder.h"
+
+namespace dcrm::apps {
+
+namespace {
+// Fans one access stream out to both the profiler and the trace
+// builder.
+class TeeSink final : public exec::AccessSink {
+ public:
+  TeeSink(exec::AccessSink& a, exec::AccessSink& b) : a_(&a), b_(&b) {}
+  void OnAccess(const exec::ThreadCoord& who,
+                const exec::AccessRecord& what) override {
+    a_->OnAccess(who, what);
+    b_->OnAccess(who, what);
+  }
+
+ private:
+  exec::AccessSink* a_;
+  exec::AccessSink* b_;
+};
+}  // namespace
+
+ProtectionSetup MakeProtectionSetup(App& app, const ProfileResult& profile,
+                                    sim::Scheme scheme,
+                                    unsigned cover_objects, bool lazy_compare,
+                                    core::ReplicaPlacement placement) {
+  ProtectionSetup out;
+  out.dev = std::make_unique<mem::DeviceMemory>();
+  app.Setup(*out.dev);
+  if (scheme == sim::Scheme::kNone || cover_objects == 0) {
+    out.plan.scheme = sim::Scheme::kNone;
+    return out;
+  }
+  const auto& order = profile.hot.coverage_order;
+  if (cover_objects > order.size()) {
+    throw std::invalid_argument("cover_objects exceeds coverage order size");
+  }
+  std::vector<mem::ObjectId> ids;
+  ids.reserve(cover_objects);
+  for (unsigned i = 0; i < cover_objects; ++i) ids.push_back(order[i].id);
+  const unsigned copies = scheme == sim::Scheme::kDetectCorrect ? 2u : 1u;
+  const auto replicas = core::ReplicateObjects(*out.dev, ids, copies,
+                                               placement);
+  out.plan =
+      core::MakeProtectionPlan(out.dev->space(), replicas, scheme,
+                               lazy_compare);
+  // Populate the LD/ST unit's PC tracking table with the load sites
+  // that touch the covered objects (Section IV-C: "store the addresses
+  // of load instructions to the corresponding data objects").
+  out.plan.pcs = profile.profiler.PcsTouching(ids);
+  return out;
+}
+
+ProtectionSetup MakeProtectionSetupForObjects(
+    App& app, const ProfileResult& profile, sim::Scheme scheme,
+    std::span<const std::string> object_names, bool lazy_compare) {
+  (void)profile;  // kept for signature symmetry with MakeProtectionSetup
+  ProtectionSetup out;
+  out.dev = std::make_unique<mem::DeviceMemory>();
+  app.Setup(*out.dev);
+  if (scheme == sim::Scheme::kNone || object_names.empty()) {
+    out.plan.scheme = sim::Scheme::kNone;
+    return out;
+  }
+  std::vector<mem::ObjectId> ids;
+  bool any_writable = false;
+  for (const auto& name : object_names) {
+    const auto id = out.dev->space().FindByName(name);
+    if (!id) throw std::invalid_argument("unknown object: " + name);
+    ids.push_back(*id);
+    any_writable = any_writable || !out.dev->space().Object(*id).read_only;
+  }
+  const unsigned copies = scheme == sim::Scheme::kDetectCorrect ? 2u : 1u;
+  const auto replicas = core::ReplicateObjects(
+      *out.dev, ids, copies, core::ReplicaPlacement::kDefault, 6,
+      /*allow_writable=*/true);
+  out.plan = core::MakeProtectionPlan(out.dev->space(), replicas, scheme,
+                                      lazy_compare,
+                                      /*propagate_stores=*/any_writable);
+  // Leave plan.pcs empty: with writable objects, store sites must be
+  // tracked too, and the address-range check subsumes both.
+  return out;
+}
+
+sim::GpuStats RunTiming(const App& app, const ProfileResult& profile,
+                        sim::GpuConfig cfg, const sim::ProtectionPlan& plan) {
+  cfg.alu_cycles_per_mem = app.AluCyclesPerMem();
+  sim::Gpu gpu(cfg, plan);
+  return gpu.Run(profile.traces);
+}
+
+ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
+                         const core::HotConfig& hot_cfg) {
+  ProfileResult out;
+  out.dev = std::make_unique<mem::DeviceMemory>();
+  app.Setup(*out.dev);
+  out.profiler.AttachSpace(&out.dev->space());
+  exec::DirectDataPlane plane(*out.dev);
+  for (auto& k : app.Kernels()) {
+    trace::TraceBuilder builder;
+    out.profiler.BeginKernel(k.cfg);
+    TeeSink tee(out.profiler, builder);
+    exec::LaunchKernel(k.cfg, plane, &tee, k.body);
+    out.profiler.EndKernel();
+    out.traces.push_back(builder.Build(k.cfg));
+  }
+  // Miss profile from a baseline run of the cycle-level simulator:
+  // with warps desynchronized by real memory latencies, hot blocks
+  // miss roughly in proportion to their (huge) access counts whenever
+  // streaming data thrashes the L1 — the distribution the paper's
+  // Fig. 8 selection weights by. (The idealized round-robin replay in
+  // core::ReplayL1Misses keeps warps in phase and underestimates hot
+  // misses; it remains available for fast approximate profiles.)
+  sim::GpuConfig miss_cfg = cfg;
+  miss_cfg.collect_block_misses = true;
+  miss_cfg.alu_cycles_per_mem = app.AluCyclesPerMem();
+  sim::Gpu miss_gpu(miss_cfg, sim::ProtectionPlan{});
+  out.timing_baseline = miss_gpu.Run(out.traces);
+  {
+    std::unordered_map<std::uint64_t, std::uint64_t> misses;
+    for (const auto& [b, n] : out.timing_baseline.block_misses) {
+      misses[b] += n;
+    }
+    out.profiler.AttachMissProfile(misses);
+  }
+  out.profiler.AttachTxnProfile(core::CountLoadTransactions(out.traces));
+  out.hot = core::ClassifyHot(out.profiler, out.dev->space(), hot_cfg);
+  out.golden = ReadOutputs(app, *out.dev);
+  return out;
+}
+
+}  // namespace dcrm::apps

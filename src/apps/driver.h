@@ -1,0 +1,62 @@
+// High-level driver: runs an application once fault-free while
+// collecting everything the reliability framework needs — access
+// profile, warp traces, L1-miss profile, hot classification, golden
+// outputs. This is the paper's "one-time offline profiling" step.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.h"
+#include "core/access_profile.h"
+#include "core/hot_classifier.h"
+#include "core/replication.h"
+#include "sim/config.h"
+#include "sim/gpu.h"
+#include "sim/stats.h"
+#include "trace/trace.h"
+
+namespace dcrm::apps {
+
+struct ProfileResult {
+  std::unique_ptr<mem::DeviceMemory> dev;  // populated, fault-free state
+  core::AccessProfiler profiler;
+  std::vector<trace::KernelTrace> traces;
+  core::HotClassification hot;
+  // Baseline timing-simulation stats (also the Fig. 8 miss profile).
+  sim::GpuStats timing_baseline;
+  std::vector<float> golden;  // fault-free outputs
+};
+
+// Runs `app` fault-free with profiling, trace collection, the
+// functional L1-miss replay, and hot classification.
+ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
+                         const core::HotConfig& hot_cfg = {});
+
+// Builds a hardware protection plan for the first `cover_objects`
+// entries of the app's Table III coverage order, with replicas
+// actually allocated in a fresh device (so replica addresses are
+// realistic for the timing model's channel mapping).
+struct ProtectionSetup {
+  std::unique_ptr<mem::DeviceMemory> dev;
+  sim::ProtectionPlan plan;
+};
+ProtectionSetup MakeProtectionSetup(
+    App& app, const ProfileResult& profile, sim::Scheme scheme,
+    unsigned cover_objects, bool lazy_compare = true,
+    core::ReplicaPlacement placement = core::ReplicaPlacement::kDefault);
+
+// Extension: protect an explicit set of objects by name, including
+// writable ones — store propagation is enabled automatically when any
+// named object is read-write (the paper's schemes cover read-only
+// inputs only; see ProtectionPlan::propagate_stores).
+ProtectionSetup MakeProtectionSetupForObjects(
+    App& app, const ProfileResult& profile, sim::Scheme scheme,
+    std::span<const std::string> object_names, bool lazy_compare = true);
+
+// Replays the profiled traces through the cycle-level simulator under
+// `plan`, with the app's arithmetic intensity.
+sim::GpuStats RunTiming(const App& app, const ProfileResult& profile,
+                        sim::GpuConfig cfg, const sim::ProtectionPlan& plan);
+
+}  // namespace dcrm::apps

@@ -1,0 +1,110 @@
+#include "apps/registry.h"
+
+#include <stdexcept>
+
+#include "apps/atax.h"
+#include "apps/bicg.h"
+#include "apps/blackscholes.h"
+#include "apps/gesummv.h"
+#include "apps/convolution.h"
+#include "apps/gramschmidt.h"
+#include "apps/histogram.h"
+#include "apps/image_filters.h"
+#include "apps/mvt.h"
+#include "apps/nn.h"
+#include "apps/srad.h"
+
+namespace dcrm::apps {
+
+std::unique_ptr<App> MakeApp(std::string_view name, AppScale scale) {
+  const int s = static_cast<int>(scale);
+  if (name == "C-NN") {
+    // (images, second-layer maps, fc neurons, classes). Weight reuse —
+    // and therefore hot intensity — scales with the image count, so
+    // even the tiny scale keeps several images.
+    static constexpr std::uint32_t ni[] = {6, 10, 24};
+    static constexpr std::uint32_t m2[] = {8, 12, 20};
+    static constexpr std::uint32_t fc[] = {24, 32, 64};
+    return std::make_unique<NnApp>(ni[s], m2[s], fc[s], 10);
+  }
+  if (name == "P-BICG") {
+    static constexpr std::uint32_t n[] = {96, 256, 1536};
+    return std::make_unique<BicgApp>(n[s], n[s]);
+  }
+  if (name == "P-ATAX") {
+    static constexpr std::uint32_t n[] = {96, 256, 1536};
+    return std::make_unique<AtaxApp>(n[s], n[s]);
+  }
+  if (name == "C-ConvRows") {
+    static constexpr std::uint32_t n[] = {64, 128, 320};
+    return std::make_unique<ConvolutionRowsApp>(n[s], n[s], 8);
+  }
+  if (name == "C-Histogram") {
+    static constexpr std::uint32_t n[] = {16384, 65536, 262144};
+    static constexpr std::uint32_t t[] = {128, 256, 512};
+    return std::make_unique<HistogramApp>(n[s], t[s], 64);
+  }
+  if (name == "P-GESUMMV") {
+    static constexpr std::uint32_t n[] = {96, 256, 1024};
+    return std::make_unique<GesummvApp>(n[s]);
+  }
+  if (name == "P-MVT") {
+    static constexpr std::uint32_t n[] = {96, 256, 1536};
+    return std::make_unique<MvtApp>(n[s]);
+  }
+  if (name == "A-Laplacian") {
+    static constexpr std::uint32_t n[] = {64, 128, 320};
+    return std::make_unique<LaplacianApp>(n[s], n[s]);
+  }
+  if (name == "A-Meanfilter") {
+    static constexpr std::uint32_t n[] = {64, 128, 320};
+    return std::make_unique<MeanfilterApp>(n[s], n[s]);
+  }
+  if (name == "A-Sobel") {
+    static constexpr std::uint32_t n[] = {64, 128, 320};
+    return std::make_unique<SobelApp>(n[s], n[s]);
+  }
+  if (name == "A-SRAD") {
+    static constexpr std::uint32_t n[] = {64, 128, 288};
+    return std::make_unique<SradApp>(n[s], n[s]);
+  }
+  if (name == "C-BlackScholes") {
+    static constexpr std::uint32_t n[] = {4096, 16384, 65536};
+    return std::make_unique<BlackScholesApp>(n[s]);
+  }
+  if (name == "P-GRAMSCHM") {
+    static constexpr std::uint32_t n[] = {96, 128, 256};
+    static constexpr std::uint32_t k[] = {24, 32, 64};
+    return std::make_unique<GramSchmidtApp>(n[s], k[s]);
+  }
+  throw std::invalid_argument("unknown application: " + std::string(name));
+}
+
+const std::vector<std::string>& PaperAppNames() {
+  static const std::vector<std::string> names = {
+      "C-NN",        "P-BICG",       "P-GESUMMV", "P-MVT",
+      "A-Laplacian", "A-Meanfilter", "A-Sobel",   "A-SRAD"};
+  return names;
+}
+
+const std::vector<std::string>& HotPatternAppNames() {
+  // The paper's eight Table II applications plus two suite-mates with
+  // the same knee-shaped profile (P-ATAX and the CUDA SDK separable
+  // convolution).
+  static const std::vector<std::string> names = {
+      "C-NN",        "P-BICG",       "P-GESUMMV", "P-MVT",
+      "A-Laplacian", "A-Meanfilter", "A-Sobel",   "A-SRAD",
+      "P-ATAX",      "C-ConvRows"};
+  return names;
+}
+
+const std::vector<std::string>& AllAppNames() {
+  static const std::vector<std::string> names = {
+      "C-NN",        "P-BICG",       "P-GESUMMV", "P-MVT",
+      "A-Laplacian", "A-Meanfilter", "A-Sobel",   "A-SRAD",
+      "P-ATAX",      "C-ConvRows",   "C-Histogram",
+      "C-BlackScholes", "P-GRAMSCHM"};
+  return names;
+}
+
+}  // namespace dcrm::apps

@@ -1,0 +1,36 @@
+// Application factory with size presets, so tests, campaigns and
+// benches agree on workload scales.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/app.h"
+
+namespace dcrm::apps {
+
+enum class AppScale {
+  kTiny,    // unit tests & fast fault campaigns
+  kSmall,   // default campaigns
+  kMedium,  // timing benches (more CTAs, better occupancy)
+};
+
+// Creates the named application at the given scale. Throws
+// std::invalid_argument for unknown names.
+std::unique_ptr<App> MakeApp(std::string_view name, AppScale scale);
+
+// The paper's eight Table II applications — the default set for the
+// figure-reproduction benches.
+const std::vector<std::string>& PaperAppNames();
+
+// The paper's eight plus the suite-mates with the same knee profile
+// (P-ATAX, C-ConvRows).
+const std::vector<std::string>& HotPatternAppNames();
+
+// All ten studied applications (adds the two Fig. 3(g)-(h)
+// counterexamples, C-BlackScholes and P-GRAMSCHM).
+const std::vector<std::string>& AllAppNames();
+
+}  // namespace dcrm::apps

@@ -1,0 +1,31 @@
+// Deterministic synthetic input generation shared by the applications.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "mem/device_memory.h"
+
+namespace dcrm::apps {
+
+// Fills `count` floats at `base` with uniform values in [lo, hi),
+// deterministically from `seed`.
+inline void FillUniform(mem::DeviceMemory& dev, Addr base, std::uint64_t count,
+                        float lo, float hi, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const float v =
+        lo + static_cast<float>(rng.NextDouble()) * (hi - lo);
+    dev.Write<float>(base + i * sizeof(float), v);
+  }
+}
+
+inline void FillConst(mem::DeviceMemory& dev, Addr base, std::uint64_t count,
+                      float v) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dev.Write<float>(base + i * sizeof(float), v);
+  }
+}
+
+}  // namespace dcrm::apps

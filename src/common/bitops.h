@@ -1,0 +1,32 @@
+// Bit-level helpers for the fault model and the SECDED codec.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace dcrm {
+
+constexpr std::uint64_t SetBit(std::uint64_t v, unsigned bit) {
+  return v | (std::uint64_t{1} << bit);
+}
+
+constexpr std::uint64_t ClearBit(std::uint64_t v, unsigned bit) {
+  return v & ~(std::uint64_t{1} << bit);
+}
+
+constexpr std::uint64_t FlipBit(std::uint64_t v, unsigned bit) {
+  return v ^ (std::uint64_t{1} << bit);
+}
+
+constexpr bool TestBit(std::uint64_t v, unsigned bit) {
+  return (v >> bit) & 1u;
+}
+
+constexpr unsigned PopCount(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+// Parity (XOR-reduction) of a 64-bit word.
+constexpr unsigned Parity(std::uint64_t v) { return PopCount(v) & 1u; }
+
+}  // namespace dcrm

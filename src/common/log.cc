@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace dcrm {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* Name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::cerr << "[" << Name(level) << "] " << msg << '\n';
+}
+}  // namespace internal
+
+}  // namespace dcrm

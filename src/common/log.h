@@ -1,0 +1,42 @@
+// Minimal leveled logging. Benches and examples keep their primary
+// output on stdout; diagnostics go through here to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dcrm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level (default kInfo). Not thread-safe by
+// design: the framework is single-threaded per simulation.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+#define DCRM_LOG(level) \
+  ::dcrm::internal::LogLine(::dcrm::LogLevel::level)
+
+}  // namespace dcrm

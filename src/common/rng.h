@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component in the framework (fault-site selection,
+// synthetic input generation, stuck-at polarity) draws from an Rng
+// seeded explicitly, so every experiment is reproducible from the seed
+// its bench prints.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dcrm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  // Re-seeds using splitmix64 so that nearby seeds give uncorrelated
+  // streams.
+  void Seed(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t Next64();
+
+  // Uniform over [0, bound). Requires bound > 0. Uses Lemire's
+  // nearly-divisionless rejection method (unbiased).
+  std::uint64_t Below(std::uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform over [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard UniformRandomBitGenerator interface so Rng works with
+  // <algorithm> shuffles.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return Next64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcrm

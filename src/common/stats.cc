@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcrm {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double ZQuantile(double confidence) {
+  // Inverse error function via the Acklam/Beasley-Springer-Moro style
+  // rational approximation of the normal quantile; accurate to ~1e-9,
+  // far below anything the campaigns need.
+  const double p = 0.5 + confidence / 2.0;
+  // Coefficients for the central region.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= 1 - plow) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+ProportionCi BinomialCi(std::size_t successes, std::size_t trials,
+                        double confidence) {
+  ProportionCi ci{};
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  ci.p = static_cast<double>(successes) / n;
+  const double z = ZQuantile(confidence);
+  ci.margin = z * std::sqrt(ci.p * (1.0 - ci.p) / n);
+  ci.lo = std::max(0.0, ci.p - ci.margin);
+  ci.hi = std::min(1.0, ci.p + ci.margin);
+  return ci;
+}
+
+std::size_t RunsForMargin(double margin, double confidence) {
+  const double z = ZQuantile(confidence);
+  const double n = z * z * 0.25 / (margin * margin);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+}  // namespace dcrm

@@ -1,0 +1,34 @@
+// Small statistics helpers used by fault-injection campaigns and
+// benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dcrm {
+
+double Mean(std::span<const double> xs);
+double Variance(std::span<const double> xs);  // sample variance (n-1)
+double StdDev(std::span<const double> xs);
+
+// Normal-approximation confidence interval for a binomial proportion,
+// the model the paper cites ([33] Leveugle et al.) to justify 1000
+// runs for 95% confidence +/-3%.
+struct ProportionCi {
+  double p;       // point estimate
+  double margin;  // half-width
+  double lo;      // clamped to [0,1]
+  double hi;
+};
+ProportionCi BinomialCi(std::size_t successes, std::size_t trials,
+                        double confidence = 0.95);
+
+// Number of runs needed for a proportion estimate with the given
+// half-width at the given confidence, worst case p=0.5. For 95% and
+// 0.03 this returns ~1068, matching the paper's "1000 runs" practice.
+std::size_t RunsForMargin(double margin, double confidence = 0.95);
+
+// Two-sided z quantile, e.g. 0.95 -> 1.95996.
+double ZQuantile(double confidence);
+
+}  // namespace dcrm

@@ -1,0 +1,114 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace dcrm {
+
+std::string FormatNum(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::Add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::Add(double v, int precision) {
+  return Add(FormatNum(v, precision));
+}
+
+TextTable& TextTable::Add(std::uint64_t v) { return Add(std::to_string(v)); }
+TextTable& TextTable::Add(std::int64_t v) { return Add(std::to_string(v)); }
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == '%' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_cell = [&](const std::string& s, std::size_t w, bool right) {
+    if (right) {
+      os << std::string(w - s.size(), ' ') << s;
+    } else {
+      os << s << std::string(w - s.size(), ' ');
+    }
+  };
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << "  ";
+    emit_cell(header_[i], width[i], false);
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << "  ";
+    os << std::string(width[i], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << "  ";
+      const std::size_t w = i < width.size() ? width[i] : row[i].size();
+      emit_cell(row[i], w, LooksNumeric(row[i]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TextTable::RenderCsv() const {
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.Render();
+}
+
+}  // namespace dcrm

@@ -1,0 +1,44 @@
+// ASCII table / CSV emitters so every bench prints the same rows and
+// series the paper's tables and figures report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcrm {
+
+// A simple column-aligned text table. Cells are strings; numeric
+// helpers format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Starts a new row. Subsequent Add* calls append cells to it.
+  TextTable& NewRow();
+  TextTable& Add(std::string cell);
+  TextTable& Add(double v, int precision = 3);
+  TextTable& Add(std::uint64_t v);
+  TextTable& Add(std::int64_t v);
+  TextTable& Add(int v) { return Add(static_cast<std::int64_t>(v)); }
+  TextTable& Add(unsigned v) { return Add(static_cast<std::uint64_t>(v)); }
+
+  std::size_t NumRows() const { return rows_.size(); }
+
+  // Renders with a header rule and right-aligned numeric-looking cells.
+  std::string Render() const;
+  // Comma-separated form (header + rows), for scripting.
+  std::string RenderCsv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double like "1.234" trimming trailing zeros.
+std::string FormatNum(double v, int precision = 3);
+
+}  // namespace dcrm

@@ -1,0 +1,44 @@
+// Fundamental types shared across the simulator and the reliability
+// framework.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcrm {
+
+// Device (virtual == physical in this model) byte address.
+using Addr = std::uint64_t;
+
+// Global warp identifier across the whole grid.
+using WarpId = std::uint32_t;
+
+// Static load/store instruction identifier ("program counter"). Each
+// distinct memory-access site in a kernel body has one.
+using Pc = std::uint32_t;
+
+// Size of a data memory block / cache line in bytes. The paper (and
+// GPGPU-Sim's default config) uses 128B throughout.
+inline constexpr std::uint32_t kBlockSize = 128;
+
+inline constexpr std::uint32_t kWarpSize = 32;
+
+// Block index for a byte address.
+constexpr std::uint64_t BlockOf(Addr a) { return a / kBlockSize; }
+constexpr Addr BlockBase(Addr a) { return a - (a % kBlockSize); }
+
+// CUDA-like 3-component index.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr std::uint64_t Count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+enum class AccessType : std::uint8_t { kLoad, kStore };
+
+}  // namespace dcrm

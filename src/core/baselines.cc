@@ -1,0 +1,62 @@
+#include "core/baselines.h"
+
+#include <stdexcept>
+
+namespace dcrm::core {
+
+trace::KernelTrace MakeRmtTrace(const trace::KernelTrace& in) {
+  trace::KernelTrace out;
+  out.cfg = in.cfg;
+  // Each CTA's thread count doubles (leading + trailing warps).
+  out.cfg.block.x *= 2;
+  const std::uint32_t wpc_in = in.cfg.WarpsPerCta();
+  const std::uint32_t wpc_out = out.cfg.WarpsPerCta();
+  out.warps.reserve(in.warps.size() * 2);
+  for (const auto& w : in.warps) {
+    const std::uint32_t within = w.warp - w.cta * wpc_in;
+    trace::WarpTrace lead = w;
+    lead.warp = w.cta * wpc_out + within;
+    trace::WarpTrace shadow;
+    shadow.cta = w.cta;
+    shadow.warp = w.cta * wpc_out + wpc_in + within;
+    shadow.insts.reserve(w.insts.size());
+    for (const auto& inst : w.insts) {
+      if (inst.type == AccessType::kStore) continue;  // verify-only copy
+      shadow.insts.push_back(inst);
+    }
+    out.warps.push_back(std::move(lead));
+    out.warps.push_back(std::move(shadow));
+  }
+  return out;
+}
+
+double RecoveryModel::DetectRerun(double p_fault, double overhead) {
+  if (p_fault < 0 || p_fault >= 1) {
+    throw std::invalid_argument("p_fault must be in [0, 1)");
+  }
+  return (1.0 + overhead) / (1.0 - p_fault);
+}
+
+double RecoveryModel::Correct(double overhead) { return 1.0 + overhead; }
+
+double RecoveryModel::CheckpointRestart(double p_fault, double interval,
+                                        double ckpt_cost,
+                                        double restore_cost) {
+  if (interval <= 0 || interval > 1) {
+    throw std::invalid_argument("interval must be in (0, 1]");
+  }
+  return 1.0 + ckpt_cost / interval +
+         p_fault * (interval / 2.0 + restore_cost);
+}
+
+double RecoveryModel::CheckpointCost(std::uint64_t bytes,
+                                     double bytes_per_cycle,
+                                     std::uint64_t run_cycles) {
+  if (bytes_per_cycle <= 0 || run_cycles == 0) {
+    throw std::invalid_argument("bad checkpoint parameters");
+  }
+  return static_cast<double>(bytes) / bytes_per_cycle /
+         static_cast<double>(run_cycles);
+}
+
+}  // namespace dcrm::core

@@ -1,0 +1,64 @@
+// Hot data identification (Observations I, II and IV of the paper):
+// decide whether an application has a hot access pattern at all
+// (Fig. 3(a)-(f) vs (g)-(h)), and if so which read-only input data
+// objects are "hot" — highly accessed per block, shared across many
+// warps, and small.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/access_profile.h"
+
+namespace dcrm::core {
+
+struct HotConfig {
+  // App-level gate: the max-block/median-block read ratio that
+  // separates knee-shaped profiles (C-NN: 4732x) from flat ones
+  // (C-BlackScholes: ~1x, P-GRAMSCHM: small steps).
+  double min_max_median_ratio = 8.0;
+  // An object qualifies when its per-block read intensity is at least
+  // this multiple of the app-wide *median* per-block read count.
+  double min_intensity_ratio = 4.0;
+  // ...and an average touched block is shared by at least this
+  // fraction of a kernel's active warps. Deliberately permissive: the
+  // paper's Fig. 4(c)-(d) shows C-NN / A-SRAD hot blocks shared by
+  // many-but-not-all warps (C-NN conv weights are shared by 1/maps of
+  // the active warps — all images' warps of one feature map).
+  double min_warp_share = 0.04;
+  // Hot set must stay a small fraction of total application memory
+  // (Table III: at most 2.15% in the paper's apps).
+  double max_footprint = 0.25;
+};
+
+struct HotClassification {
+  bool has_hot_pattern = false;
+  double max_median_ratio = 0.0;
+  // Hot objects, in Table III order (most accessed first).
+  std::vector<ObjectProfile> hot_objects;
+  // All read-only input objects in Table III order (the coverage order
+  // for Figs. 7 and 9).
+  std::vector<ObjectProfile> coverage_order;
+  // Hot footprint as a fraction of total named object bytes.
+  double hot_footprint = 0.0;
+  // Fraction of all thread-level accesses that touch hot blocks.
+  double hot_access_share = 0.0;
+};
+
+HotClassification ClassifyHot(const AccessProfiler& prof,
+                              const mem::AddressSpace& space,
+                              const HotConfig& cfg = {});
+
+// Block-level split used by the Fig. 5/6 experiments: the hot blocks
+// are the blocks of the hot objects; the rest is every other *touched*
+// block.
+struct BlockSplit {
+  std::vector<std::uint64_t> hot;   // block indices
+  std::vector<std::uint64_t> rest;
+};
+BlockSplit SplitBlocks(const HotClassification& cls,
+                       const AccessProfiler& prof,
+                       const mem::AddressSpace& space);
+
+}  // namespace dcrm::core

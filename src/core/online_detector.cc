@@ -1,0 +1,68 @@
+#include "core/online_detector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcrm::core {
+
+OnlineHotDetector::OnlineHotDetector(std::size_t entries)
+    : capacity_(entries) {
+  if (entries == 0) throw std::invalid_argument("need at least one entry");
+  table_.reserve(entries + 1);
+}
+
+void OnlineHotDetector::Observe(std::uint64_t block) {
+  ++observed_;
+  if (const auto it = table_.find(block); it != table_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (table_.size() < capacity_) {
+    table_.emplace(block, Cell{1, 0});
+    return;
+  }
+  // Space-Saving replacement: evict the minimum-count entry; the new
+  // entry adopts count+1 with the evicted count recorded as its error
+  // (so count stays an upper bound and count-error a lower bound).
+  auto min_it = table_.begin();
+  for (auto it = table_.begin(); it != table_.end(); ++it) {
+    if (it->second.count < min_it->second.count) min_it = it;
+  }
+  const std::uint64_t evicted = min_it->second.count;
+  table_.erase(min_it);
+  table_.emplace(block, Cell{evicted + 1, evicted});
+}
+
+std::vector<OnlineHotDetector::Entry> OnlineHotDetector::Top() const {
+  std::vector<Entry> out;
+  out.reserve(table_.size());
+  for (const auto& [block, cell] : table_) {
+    out.push_back({block, cell.count, cell.error});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.block < b.block;
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> OnlineHotDetector::HotBlocks(double ratio) const {
+  const auto top = Top();
+  if (top.empty()) return {};
+  std::vector<std::uint64_t> guaranteed;
+  guaranteed.reserve(top.size());
+  for (const auto& e : top) guaranteed.push_back(e.Guaranteed());
+  std::sort(guaranteed.begin(), guaranteed.end());
+  const double median =
+      static_cast<double>(guaranteed[guaranteed.size() / 2]);
+  std::vector<std::uint64_t> out;
+  for (const auto& e : top) {
+    if (static_cast<double>(e.Guaranteed()) >=
+        ratio * std::max(1.0, median)) {
+      out.push_back(e.block);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcrm::core

@@ -1,0 +1,62 @@
+// Online hot-block detection — the natural extension of the paper's
+// one-time *offline* profiling (Section IV-C notes the analysis "can
+// be automated with binary instrumentation"; a hardware table makes
+// it fully dynamic).
+//
+// A small Space-Saving–style counter table (Metwally et al.'s
+// stream-frequency algorithm, hardware-friendly: N entries, O(1)
+// update) observes block addresses as they are accessed. Blocks whose
+// estimated counts dominate are reported hot. The accompanying bench
+// measures how well the online top-K agrees with the offline profile
+// across the applications.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dcrm::core {
+
+class OnlineHotDetector {
+ public:
+  // `entries`: counter-table capacity (hardware budget). 64 entries of
+  // (block id, count) is 64 x 12B — smaller than one cache line pair.
+  explicit OnlineHotDetector(std::size_t entries);
+
+  // Observes one block access (call per coalesced transaction or per
+  // thread access; consistency matters more than the unit).
+  void Observe(std::uint64_t block);
+
+  struct Entry {
+    std::uint64_t block = 0;
+    std::uint64_t count = 0;  // estimated frequency (upper bound)
+    std::uint64_t error = 0;  // count inherited at insertion
+    // Guaranteed lower bound on the true frequency.
+    std::uint64_t Guaranteed() const { return count - error; }
+  };
+
+  // Entries sorted by estimated count, highest first.
+  std::vector<Entry> Top() const;
+
+  // Blocks whose *guaranteed* count (count - error, the Space-Saving
+  // lower bound) is at least `ratio` times the table's median
+  // guaranteed count — the online analogue of the offline knee test.
+  // Using the lower bound cancels the inflation that evict-inherit
+  // puts on churning cold entries.
+  std::vector<std::uint64_t> HotBlocks(double ratio = 8.0) const;
+
+  std::uint64_t observed() const { return observed_; }
+
+ private:
+  struct Cell {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Cell> table_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace dcrm::core

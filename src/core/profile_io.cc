@@ -1,0 +1,93 @@
+#include "core/profile_io.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dcrm::core {
+namespace {
+constexpr const char* kMagic = "dcrm-profile v2";
+}
+
+void SaveProfile(const AccessProfiler& prof, std::ostream& os) {
+  os << kMagic << '\n';
+  os << "totals " << prof.TotalReads() << ' '
+     << (prof.TotalAccesses() - prof.TotalReads()) << '\n';
+  // Deterministic order for byte-identical round trips.
+  std::vector<std::pair<std::uint64_t, BlockProfile>> blocks(
+      prof.blocks().begin(), prof.blocks().end());
+  std::sort(blocks.begin(), blocks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  os.precision(17);
+  for (const auto& [block, bp] : blocks) {
+    os << "block " << block << ' ' << bp.reads << ' ' << bp.writes << ' '
+       << bp.txns << ' ' << bp.warp_share << ' ' << bp.l1_misses << '\n';
+  }
+  for (const auto& [pc, stats] : prof.pc_stats()) {
+    os << "pc " << pc << ' ' << stats.accesses;
+    for (const auto& [obj, count] : stats.per_object) {
+      os << ' ' << obj << ':' << count;
+    }
+    os << '\n';
+  }
+}
+
+std::string SaveProfileToString(const AccessProfiler& prof) {
+  std::ostringstream os;
+  SaveProfile(prof, os);
+  return os.str();
+}
+
+AccessProfiler LoadProfile(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("not a dcrm profile (bad magic)");
+  }
+  AccessProfiler prof;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "totals") {
+      std::uint64_t reads = 0;
+      std::uint64_t writes = 0;
+      ls >> reads >> writes;
+      prof.RestoreTotals(reads, writes);
+    } else if (kind == "block") {
+      std::uint64_t block = 0;
+      BlockProfile bp;
+      ls >> block >> bp.reads >> bp.writes >> bp.txns >> bp.warp_share >>
+          bp.l1_misses;
+      if (ls.fail()) throw std::runtime_error("malformed block line");
+      prof.RestoreBlock(block, bp);
+    } else if (kind == "pc") {
+      Pc pc = 0;
+      PcStats stats;
+      ls >> pc >> stats.accesses;
+      if (ls.fail()) throw std::runtime_error("malformed pc line");
+      std::string pair;
+      while (ls >> pair) {
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("malformed pc object pair");
+        }
+        const auto obj = static_cast<mem::ObjectId>(
+            std::stoul(pair.substr(0, colon)));
+        stats.per_object[obj] = std::stoull(pair.substr(colon + 1));
+      }
+      prof.RestorePc(pc, stats);
+    } else {
+      throw std::runtime_error("unknown profile record: " + kind);
+    }
+  }
+  return prof;
+}
+
+AccessProfiler LoadProfileFromString(const std::string& text) {
+  std::istringstream is(text);
+  return LoadProfile(is);
+}
+
+}  // namespace dcrm::core

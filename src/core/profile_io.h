@@ -1,0 +1,27 @@
+// Persistence for the one-time offline profile (Section IV-A: "the
+// access pattern and source code analyses are done once offline").
+// A saved profile lets later sessions build protection plans and run
+// campaigns without re-executing the application's profiling run.
+//
+// Format: a versioned line-oriented text format,
+//   dcrm-profile v2
+//   totals <reads> <writes>
+//   block <index> <reads> <writes> <txns> <warp_share> <l1_misses>
+//   pc <pc> <accesses> [<object_id>:<count>]...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/access_profile.h"
+
+namespace dcrm::core {
+
+void SaveProfile(const AccessProfiler& prof, std::ostream& os);
+std::string SaveProfileToString(const AccessProfiler& prof);
+
+// Throws std::runtime_error on malformed input.
+AccessProfiler LoadProfile(std::istream& is);
+AccessProfiler LoadProfileFromString(const std::string& text);
+
+}  // namespace dcrm::core

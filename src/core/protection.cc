@@ -1,0 +1,67 @@
+#include "core/protection.h"
+
+#include <cstring>
+
+namespace dcrm::core {
+
+void ProtectedDataPlane::Load(Pc pc, Addr addr, void* out,
+                              std::uint32_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(out);
+  dev_->ReadBytes(addr, bytes, size);
+
+  const sim::ProtectedRange* range =
+      plan_.PcTracked(pc) ? plan_.Lookup(addr) : nullptr;
+  if (range == nullptr) return;
+
+  std::uint8_t copy0[16];
+  std::uint8_t copy1[16];
+  if (size > sizeof(copy0)) {
+    throw std::invalid_argument("protected load wider than 16 bytes");
+  }
+  switch (plan_.scheme) {
+    case sim::Scheme::kNone:
+      return;
+    case sim::Scheme::kDetectOnly: {
+      dev_->ReadBytes(range->ReplicaAddr(0, addr), copy0, size);
+      if (std::memcmp(bytes, copy0, size) != 0) {
+        ++detections_;
+        throw DetectionTerminated(pc, addr);
+      }
+      return;
+    }
+    case sim::Scheme::kDetectCorrect: {
+      dev_->ReadBytes(range->ReplicaAddr(0, addr), copy0, size);
+      dev_->ReadBytes(range->ReplicaAddr(1, addr), copy1, size);
+      bool corrected = false;
+      for (std::uint32_t i = 0; i < size; ++i) {
+        const std::uint8_t voted =
+            static_cast<std::uint8_t>((bytes[i] & copy0[i]) |
+                                      (bytes[i] & copy1[i]) |
+                                      (copy0[i] & copy1[i]));
+        if (voted != bytes[i]) corrected = true;
+        bytes[i] = voted;
+      }
+      if (corrected) ++corrections_;
+      return;
+    }
+  }
+}
+
+void ProtectedDataPlane::Store(Pc pc, Addr addr, const void* in,
+                               std::uint32_t size) {
+  if (!dev_->space().ValidRange(addr, size)) {
+    throw std::out_of_range("store out of range");
+  }
+  std::memcpy(dev_->space().Data() + addr, in, size);
+  if (!plan_.propagate_stores || !plan_.PcTracked(pc)) return;
+  if (const sim::ProtectedRange* range = plan_.Lookup(addr)) {
+    // Writable-object extension: keep every copy coherent so later
+    // votes/compares see the new value, not a stale one.
+    for (unsigned c = 0; c < plan_.NumCopies(); ++c) {
+      std::memcpy(dev_->space().Data() + range->ReplicaAddr(c, addr), in,
+                  size);
+    }
+  }
+}
+
+}  // namespace dcrm::core

@@ -1,0 +1,55 @@
+// Functional semantics of the two resilience schemes (Section IV-B).
+//
+// Detection-only: every protected load also reads the duplicate; a
+// bitwise mismatch raises the terminate signal (DetectionTerminated).
+// In hardware the compare happens lazily after an L1 miss; because the
+// modeled faults are permanent, terminating on the first mismatching
+// access yields the same run outcome, and the timing cost of laziness
+// is modeled in the cycle-level simulator.
+//
+// Detection-and-correction: protected loads read both replicas and
+// return the bitwise majority of the three copies, mirroring the
+// triplication vote at the LD/ST unit.
+#pragma once
+
+#include <stdexcept>
+
+#include "exec/data_plane.h"
+#include "sim/replication.h"
+
+namespace dcrm::core {
+
+class DetectionTerminated : public std::runtime_error {
+ public:
+  DetectionTerminated(Pc pc, Addr addr)
+      : std::runtime_error("protected data mismatch: terminate"),
+        pc_(pc),
+        addr_(addr) {}
+  Pc pc() const { return pc_; }
+  Addr addr() const { return addr_; }
+
+ private:
+  Pc pc_;
+  Addr addr_;
+};
+
+class ProtectedDataPlane final : public exec::DataPlane {
+ public:
+  ProtectedDataPlane(mem::DeviceMemory& dev, sim::ProtectionPlan plan)
+      : dev_(&dev), plan_(std::move(plan)) {}
+
+  void Load(Pc pc, Addr addr, void* out, std::uint32_t size) override;
+  void Store(Pc pc, Addr addr, const void* in, std::uint32_t size) override;
+
+  const sim::ProtectionPlan& plan() const { return plan_; }
+  std::uint64_t detections() const { return detections_; }
+  std::uint64_t corrections() const { return corrections_; }
+
+ private:
+  mem::DeviceMemory* dev_;
+  sim::ProtectionPlan plan_;
+  std::uint64_t detections_ = 0;
+  std::uint64_t corrections_ = 0;
+};
+
+}  // namespace dcrm::core

@@ -1,0 +1,73 @@
+#include "core/replication.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dcrm::core {
+
+std::vector<ReplicaInfo> ReplicateObjects(
+    mem::DeviceMemory& dev, std::span<const mem::ObjectId> objects,
+    unsigned copies, ReplicaPlacement placement, std::uint32_t num_channels,
+    bool allow_writable) {
+  if (copies == 0 || copies > 2) {
+    throw std::invalid_argument("copies must be 1 or 2");
+  }
+  std::vector<ReplicaInfo> out;
+  out.reserve(objects.size());
+  auto& space = dev.space();
+  for (mem::ObjectId id : objects) {
+    const mem::DataObject& obj = space.Object(id);
+    if (!obj.read_only && !allow_writable) {
+      throw std::invalid_argument("only read-only objects can be replicated: " +
+                                  obj.name);
+    }
+    ReplicaInfo info;
+    info.object = id;
+    info.copies = copies;
+    for (unsigned c = 0; c < copies; ++c) {
+      if (placement == ReplicaPlacement::kSameChannel) {
+        // Pad the break so the replica's first block maps to the
+        // primary's channel (block-interleaved: channel = block % C),
+        // *then* allocate the full-size replica.
+        const std::uint64_t want =
+            (obj.base / kBlockSize) % num_channels;
+        const std::uint64_t cur = (space.Brk() / kBlockSize) % num_channels;
+        const std::uint64_t pad = (want + num_channels - cur) % num_channels;
+        if (pad > 0) space.AllocateRaw(pad * kBlockSize);
+      }
+      const Addr base = space.AllocateRaw(obj.size_bytes);
+      std::memcpy(space.Data() + base, space.Data() + obj.base,
+                  obj.size_bytes);
+      info.replica_base[c] = base;
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+sim::ProtectionPlan MakeProtectionPlan(const mem::AddressSpace& space,
+                                       std::span<const ReplicaInfo> replicas,
+                                       sim::Scheme scheme, bool lazy_compare,
+                                       bool propagate_stores) {
+  sim::ProtectionPlan plan;
+  plan.scheme = scheme;
+  plan.lazy_compare = lazy_compare;
+  plan.propagate_stores = propagate_stores;
+  if (scheme == sim::Scheme::kNone) return plan;
+  const unsigned needed = scheme == sim::Scheme::kDetectCorrect ? 2u : 1u;
+  for (const ReplicaInfo& r : replicas) {
+    if (r.copies < needed) {
+      throw std::invalid_argument("not enough replicas for requested scheme");
+    }
+    const mem::DataObject& obj = space.Object(r.object);
+    sim::ProtectedRange range;
+    range.base = obj.base;
+    range.size = obj.size_bytes;
+    range.replica_base[0] = r.replica_base[0];
+    range.replica_base[1] = r.replica_base[1];
+    plan.ranges.push_back(range);
+  }
+  return plan;
+}
+
+}  // namespace dcrm::core

@@ -1,0 +1,48 @@
+// Replica management (Section IV-B/IV-C): duplicate or triplicate
+// selected read-only data objects at distinct DRAM addresses and build
+// the LD/ST-unit protection plan from them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mem/device_memory.h"
+#include "sim/replication.h"
+
+namespace dcrm::core {
+
+enum class ReplicaPlacement : std::uint8_t {
+  // Natural placement: replicas allocated at the next free addresses.
+  // Block-interleaved channel mapping then spreads replica traffic
+  // across partitions.
+  kDefault,
+  // Adversarial placement for the ablation: replicas offset so every
+  // replica block maps to the *same* channel as its primary,
+  // concentrating the extra traffic.
+  kSameChannel,
+};
+
+struct ReplicaInfo {
+  mem::ObjectId object = mem::kInvalidObject;
+  unsigned copies = 0;          // 1 (detection) or 2 (correction)
+  Addr replica_base[2] = {0, 0};
+};
+
+// Allocates `copies` replicas for each object and copies the current
+// (golden) contents. Objects must be read-only — the paper's schemes
+// have no write-propagation path — unless `allow_writable` is set,
+// in which case the caller must enable ProtectionPlan::
+// propagate_stores so the copies stay coherent.
+std::vector<ReplicaInfo> ReplicateObjects(
+    mem::DeviceMemory& dev, std::span<const mem::ObjectId> objects,
+    unsigned copies, ReplicaPlacement placement = ReplicaPlacement::kDefault,
+    std::uint32_t num_channels = 6, bool allow_writable = false);
+
+// Builds the hardware protection plan for the replicated objects.
+sim::ProtectionPlan MakeProtectionPlan(const mem::AddressSpace& space,
+                                       std::span<const ReplicaInfo> replicas,
+                                       sim::Scheme scheme,
+                                       bool lazy_compare = true,
+                                       bool propagate_stores = false);
+
+}  // namespace dcrm::core

@@ -1,0 +1,15 @@
+#include "exec/data_plane.h"
+
+#include <cstring>
+
+namespace dcrm::exec {
+
+void DirectDataPlane::Store(Pc, Addr addr, const void* in,
+                            std::uint32_t size) {
+  if (!dev_->space().ValidRange(addr, size)) {
+    throw std::out_of_range("store out of range");
+  }
+  std::memcpy(dev_->space().Data() + addr, in, size);
+}
+
+}  // namespace dcrm::exec

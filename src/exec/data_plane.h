@@ -1,0 +1,37 @@
+// The data plane a simulated kernel thread talks to. The plain
+// implementation forwards to DeviceMemory; the protection runtime
+// (src/core) wraps it to add replica reads, comparison, and majority
+// voting for protected objects.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "mem/device_memory.h"
+
+namespace dcrm::exec {
+
+class DataPlane {
+ public:
+  virtual ~DataPlane() = default;
+
+  virtual void Load(Pc pc, Addr addr, void* out, std::uint32_t size) = 0;
+  virtual void Store(Pc pc, Addr addr, const void* in, std::uint32_t size) = 0;
+};
+
+// Unprotected pass-through: loads see injected faults (and ECC if the
+// device enables it); stores go straight to the backing store.
+class DirectDataPlane final : public DataPlane {
+ public:
+  explicit DirectDataPlane(mem::DeviceMemory& dev) : dev_(&dev) {}
+
+  void Load(Pc, Addr addr, void* out, std::uint32_t size) override {
+    dev_->ReadBytes(addr, static_cast<std::uint8_t*>(out), size);
+  }
+  void Store(Pc, Addr addr, const void* in, std::uint32_t size) override;
+
+ private:
+  mem::DeviceMemory* dev_;
+};
+
+}  // namespace dcrm::exec

@@ -1,0 +1,40 @@
+#include "exec/launcher.h"
+
+namespace dcrm::exec {
+
+LaunchStats LaunchKernel(const LaunchConfig& cfg, DataPlane& plane,
+                         AccessSink* sink, const KernelFn& body) {
+  LaunchStats stats;
+  const std::uint32_t warps_per_cta = cfg.WarpsPerCta();
+  std::uint32_t cta_linear = 0;
+  for (std::uint32_t bz = 0; bz < cfg.grid.z; ++bz) {
+    for (std::uint32_t by = 0; by < cfg.grid.y; ++by) {
+      for (std::uint32_t bx = 0; bx < cfg.grid.x; ++bx, ++cta_linear) {
+        ++stats.ctas;
+        std::uint32_t thread_linear = 0;
+        for (std::uint32_t tz = 0; tz < cfg.block.z; ++tz) {
+          for (std::uint32_t ty = 0; ty < cfg.block.y; ++ty) {
+            for (std::uint32_t tx = 0; tx < cfg.block.x;
+                 ++tx, ++thread_linear) {
+              ThreadCoord coord;
+              coord.block_idx = {bx, by, bz};
+              coord.thread_idx = {tx, ty, tz};
+              coord.cta_linear = cta_linear;
+              coord.thread_linear = thread_linear;
+              coord.warp_global = static_cast<WarpId>(
+                  cta_linear * warps_per_cta + thread_linear / kWarpSize);
+              coord.lane = static_cast<std::uint8_t>(thread_linear % kWarpSize);
+              ThreadCtx ctx(coord, cfg, plane, sink);
+              body(ctx);
+              ++stats.threads;
+            }
+          }
+        }
+      }
+    }
+  }
+  stats.warps = cfg.TotalWarps();
+  return stats;
+}
+
+}  // namespace dcrm::exec

@@ -1,0 +1,27 @@
+// Grid launcher: iterates CTAs / warps / threads in a deterministic
+// order and runs the kernel body per thread.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/kernel.h"
+
+namespace dcrm::exec {
+
+struct LaunchStats {
+  std::uint64_t threads = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t ctas = 0;
+};
+
+// Runs `body` for every thread of the launch. Threads execute
+// sequentially (functional model); warp structure is captured in each
+// thread's ThreadCoord so sinks can rebuild lockstep warp behaviour.
+//
+// Exceptions thrown by the body (DueError, DetectionTerminated)
+// propagate out, aborting the rest of the launch — the functional
+// analogue of the paper's terminate signal.
+LaunchStats LaunchKernel(const LaunchConfig& cfg, DataPlane& plane,
+                         AccessSink* sink, const KernelFn& body);
+
+}  // namespace dcrm::exec

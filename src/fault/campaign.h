@@ -1,0 +1,112 @@
+// Fault-injection campaigns (Sections II-C, III-C and V-B):
+// repeatedly run an application with permanent stuck-at multi-bit
+// faults injected into selected 128B data memory blocks and classify
+// each run's outcome.
+//
+// Block selection targets:
+//  - kHotBlocks / kRestBlocks: uniform over the hot / non-hot touched
+//    blocks (the Fig. 5 -> Fig. 6 experiment);
+//  - kMissWeighted: over the whole application space with probability
+//    proportional to each block's L1-missed accesses (the Fig. 8 ->
+//    Fig. 9 experiment — misses are what L2/DRAM faults can reach).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/driver.h"
+#include "common/stats.h"
+#include "core/protection.h"
+#include "core/replication.h"
+#include "sim/replication.h"
+
+namespace dcrm::fault {
+
+enum class Outcome : std::uint8_t {
+  kMasked,    // output identical (within the app's metric threshold)
+  kSdc,       // silent data corruption: output differs, nothing noticed
+  kDetected,  // detection scheme raised the terminate signal
+  kDue,       // SECDED raised a detected uncorrectable error
+  kCrash,     // faulted index arithmetic left the address space
+};
+
+enum class Target : std::uint8_t { kHotBlocks, kRestBlocks, kMissWeighted };
+
+// Spatial fault footprint (see fault/fault_shapes.h). kWordBits is the
+// paper's recipe; kColumn and kDramRow model the column/row failure
+// modes of the DRAM field studies the paper cites.
+enum class FaultShape : std::uint8_t { kWordBits, kColumn, kDramRow };
+
+struct CampaignConfig {
+  Target target = Target::kMissWeighted;
+  FaultShape shape = FaultShape::kWordBits;
+  unsigned faulty_blocks = 1;   // 1 or 5 in the paper
+  unsigned bits_per_block = 2;  // 2, 3 or 4 in the paper (kWordBits)
+  unsigned runs = 1000;
+  std::uint64_t seed = 1;
+};
+
+struct CampaignCounts {
+  unsigned runs = 0;
+  unsigned masked = 0;
+  unsigned sdc = 0;
+  unsigned detected = 0;
+  unsigned due = 0;
+  unsigned crash = 0;
+  std::uint64_t corrections = 0;  // majority-vote fixes performed
+
+  ProportionCi SdcCi(double confidence = 0.95) const {
+    return BinomialCi(sdc, runs, confidence);
+  }
+};
+
+// One campaign instance: the application with a fixed protection
+// configuration. Reuses a single device via store snapshot/restore so
+// a 1000-run campaign costs 1000 kernel executions, not 1000 setups.
+class FaultCampaign {
+ public:
+  // `cover_objects` protects the first N objects of the Table III
+  // coverage order with `scheme`; 0 or Scheme::kNone leaves the app
+  // unprotected. `profile` must come from ProfileApp on this same app
+  // (same scale).
+  FaultCampaign(apps::App& app, const apps::ProfileResult& profile,
+                sim::Scheme scheme, unsigned cover_objects,
+                mem::EccMode ecc = mem::EccMode::kNone,
+                core::ReplicaPlacement placement =
+                    core::ReplicaPlacement::kDefault);
+
+  // Extension: protect an explicit set of objects by name, including
+  // writable ones (store propagation keeps the copies coherent, and
+  // the host reads protected outputs through the voting plane).
+  FaultCampaign(apps::App& app, const apps::ProfileResult& profile,
+                sim::Scheme scheme,
+                const std::vector<std::string>& object_names,
+                mem::EccMode ecc = mem::EccMode::kNone);
+
+  CampaignCounts Run(const CampaignConfig& cfg);
+
+  // Runs once with the given pre-selected faults (exposed for tests).
+  Outcome RunOnce(const std::vector<mem::StuckAtFault>& faults);
+
+  const sim::ProtectionPlan& plan() const { return plan_; }
+
+ private:
+  void FinishInit();
+  std::vector<float> ReadObservedOutputs() const;
+  std::vector<std::uint64_t> SelectBlocks(Target target, unsigned count,
+                                          Rng& rng) const;
+
+  apps::App* app_;
+  const apps::ProfileResult* profile_;
+  mem::DeviceMemory dev_;
+  sim::ProtectionPlan plan_;
+  std::unique_ptr<core::ProtectedDataPlane> protected_plane_;
+  std::vector<std::byte> snapshot_;
+  core::BlockSplit split_;  // hot / rest block lists
+  // Miss-weighted sampling support.
+  std::vector<std::uint64_t> weighted_blocks_;
+  std::vector<std::uint64_t> weight_prefix_;
+  std::uint64_t last_corrections_ = 0;
+};
+
+}  // namespace dcrm::fault

@@ -1,0 +1,71 @@
+#include "fault/fault_shapes.h"
+
+#include <stdexcept>
+
+namespace dcrm::fault {
+
+std::vector<mem::StuckAtFault> MakeColumnFaults(Addr lo, Addr hi, Rng& rng) {
+  if (hi <= lo) throw std::invalid_argument("empty column-fault range");
+  const auto column = static_cast<unsigned>(rng.Below(32));  // bit in word
+  const bool stuck = rng.Bernoulli(0.5);
+  std::vector<mem::StuckAtFault> out;
+  for (Addr word = lo & ~Addr{3}; word < hi; word += 4) {
+    mem::StuckAtFault f;
+    f.byte_addr = word + column / 8;
+    if (f.byte_addr >= hi) continue;  // partial last word
+    f.bit = static_cast<std::uint8_t>(column % 8);
+    f.stuck_value = stuck;
+    out.push_back(f);
+  }
+  if (out.empty()) throw std::logic_error("column fault produced no bits");
+  return out;
+}
+
+std::vector<std::uint64_t> BlocksInSameDramRow(std::uint64_t block,
+                                               const sim::AddrMap& map,
+                                               Addr limit) {
+  const Addr addr = block * kBlockSize;
+  const std::uint32_t channel = map.Channel(addr);
+  const std::uint32_t bank = map.Bank(addr);
+  const std::uint64_t row = map.Row(addr);
+  // Reconstruct the row's row-local block indices: within-bank block
+  // index wb = row*blocks_per_row + i; global block =
+  // (wb * banks + bank) * channels + channel.
+  std::vector<std::uint64_t> out;
+  for (std::uint32_t i = 0; i < map.blocks_per_row; ++i) {
+    const std::uint64_t wb =
+        row * map.blocks_per_row + i;
+    const std::uint64_t global =
+        (wb * map.num_banks + bank) * map.num_channels + channel;
+    if (global * kBlockSize >= limit) continue;
+    out.push_back(global);
+  }
+  return out;
+}
+
+std::vector<mem::StuckAtFault> MakeDramRowFaults(std::uint64_t block,
+                                                 const sim::AddrMap& map,
+                                                 Addr limit, Rng& rng) {
+  const auto blocks = BlocksInSameDramRow(block, map, limit);
+  if (blocks.empty()) throw std::invalid_argument("row outside address space");
+  // One failed column across the whole row: same bit position and
+  // polarity in every block.
+  const auto column = static_cast<unsigned>(rng.Below(32));
+  const bool stuck = rng.Bernoulli(0.5);
+  std::vector<mem::StuckAtFault> out;
+  for (std::uint64_t b : blocks) {
+    const Addr base = b * kBlockSize;
+    const Addr hi = std::min<Addr>(base + kBlockSize, limit);
+    for (Addr word = base; word < hi; word += 4) {
+      mem::StuckAtFault f;
+      f.byte_addr = word + column / 8;
+      if (f.byte_addr >= hi) continue;
+      f.bit = static_cast<std::uint8_t>(column % 8);
+      f.stuck_value = stuck;
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcrm::fault

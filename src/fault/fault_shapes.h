@@ -1,0 +1,38 @@
+// Extended fault shapes beyond the paper's k-bits-in-a-word recipe,
+// modeled on the DRAM failure modes of the field studies the paper
+// cites (Sridharan & Liberty [64], Sridharan et al. [63]): a large
+// fraction of DRAM faults are not isolated word upsets but
+// single-column, single-row or single-bank failures that corrupt a
+// repeating bit position across a region.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/fault_model.h"
+#include "sim/request.h"
+
+namespace dcrm::fault {
+
+// Column failure within one 128B block: one bit position (0..31 of
+// every aligned 32-bit word) stuck at the same value across the whole
+// block — the footprint of a failed DRAM column intersected with one
+// block. Bits within [lo, hi) only (application bytes).
+std::vector<mem::StuckAtFault> MakeColumnFaults(Addr lo, Addr hi, Rng& rng);
+
+// Row failure: the DRAM row containing `block` fails; every 128B
+// block of that row (same channel, same bank, blocks_per_row
+// consecutive row-local blocks) receives the same stuck column.
+// Returns faults for all affected blocks, clamped to `limit` (the
+// application address-space size).
+std::vector<mem::StuckAtFault> MakeDramRowFaults(std::uint64_t block,
+                                                 const sim::AddrMap& map,
+                                                 Addr limit, Rng& rng);
+
+// Blocks sharing the DRAM row of `block` (including itself), clamped
+// to the address-space limit. Exposed for tests.
+std::vector<std::uint64_t> BlocksInSameDramRow(std::uint64_t block,
+                                               const sim::AddrMap& map,
+                                               Addr limit);
+
+}  // namespace dcrm::fault

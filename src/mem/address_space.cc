@@ -1,0 +1,65 @@
+#include "mem/address_space.h"
+
+#include <stdexcept>
+
+namespace dcrm::mem {
+
+AddressSpace::AddressSpace(std::uint64_t capacity_hint) {
+  if (capacity_hint > 0) store_.reserve(capacity_hint);
+}
+
+void AddressSpace::EnsureCapacity(std::uint64_t bytes) {
+  if (store_.size() < bytes) store_.resize(bytes);
+}
+
+ObjectId AddressSpace::Allocate(std::string_view name,
+                                std::uint64_t size_bytes, bool read_only) {
+  if (size_bytes == 0) throw std::invalid_argument("zero-sized data object");
+  if (FindByName(name)) {
+    throw std::invalid_argument("duplicate data object name: " +
+                                std::string(name));
+  }
+  const Addr base = AllocateRaw(size_bytes);
+  DataObject obj;
+  obj.id = static_cast<ObjectId>(objects_.size());
+  obj.name = std::string(name);
+  obj.base = base;
+  obj.size_bytes = size_bytes;
+  obj.read_only = read_only;
+  total_object_bytes_ += size_bytes;
+  objects_.push_back(std::move(obj));
+  return objects_.back().id;
+}
+
+Addr AddressSpace::AllocateRaw(std::uint64_t size_bytes) {
+  const Addr base = brk_;
+  // Round the next break up to a block boundary so regions never share
+  // a 128B block.
+  const std::uint64_t padded =
+      (size_bytes + kBlockSize - 1) / kBlockSize * kBlockSize;
+  brk_ += padded;
+  EnsureCapacity(brk_);
+  return base;
+}
+
+std::optional<ObjectId> AddressSpace::FindByName(std::string_view name) const {
+  for (const auto& o : objects_) {
+    if (o.name == name) return o.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<ObjectId> AddressSpace::OwnerOf(Addr a) const {
+  for (const auto& o : objects_) {
+    if (o.Contains(a)) return o.id;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t AddressSpace::TotalObjectBlocks() const {
+  std::uint64_t n = 0;
+  for (const auto& o : objects_) n += o.NumBlocks();
+  return n;
+}
+
+}  // namespace dcrm::mem

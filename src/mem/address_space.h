@@ -1,0 +1,82 @@
+// Device address space: a flat byte-addressable memory with a bump
+// allocator and a registry of named data objects (the paper's unit of
+// protection).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dcrm::mem {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kInvalidObject = ~ObjectId{0};
+
+// A named allocation in device memory. Mirrors the paper's "input data
+// object" (e.g. Layer1_Weights, r, Filter).
+struct DataObject {
+  ObjectId id = kInvalidObject;
+  std::string name;
+  Addr base = 0;
+  std::uint64_t size_bytes = 0;
+  bool read_only = false;
+
+  Addr end() const { return base + size_bytes; }
+  bool Contains(Addr a) const { return a >= base && a < end(); }
+  std::uint64_t NumBlocks() const {
+    return (size_bytes + kBlockSize - 1) / kBlockSize;
+  }
+};
+
+class AddressSpace {
+ public:
+  // `capacity_hint` pre-reserves backing storage.
+  explicit AddressSpace(std::uint64_t capacity_hint = 0);
+
+  // Allocates `size_bytes` aligned to the 128B block size and registers
+  // it under `name`. Objects never alias and never share a block, which
+  // matches the paper's block-granular treatment of objects.
+  ObjectId Allocate(std::string_view name, std::uint64_t size_bytes,
+                    bool read_only);
+
+  // Allocates an anonymous region (used for replicas); not listed among
+  // application data objects.
+  Addr AllocateRaw(std::uint64_t size_bytes);
+
+  const DataObject& Object(ObjectId id) const { return objects_.at(id); }
+  std::span<const DataObject> Objects() const { return objects_; }
+  std::optional<ObjectId> FindByName(std::string_view name) const;
+  // Object owning address `a`, if any (replica space returns nullopt).
+  std::optional<ObjectId> OwnerOf(Addr a) const;
+
+  // Total bytes allocated to *named* data objects (the paper's "total
+  // application memory" denominator in Table III).
+  std::uint64_t TotalObjectBytes() const { return total_object_bytes_; }
+  std::uint64_t TotalObjectBlocks() const;
+
+  Addr Brk() const { return brk_; }
+
+  // Raw backing storage access (the functional data plane).
+  std::byte* Data() { return store_.data(); }
+  const std::byte* Data() const { return store_.data(); }
+  std::uint64_t StoreSize() const { return store_.size(); }
+
+  bool ValidRange(Addr a, std::uint64_t n) const {
+    return a + n <= store_.size() && a + n >= a;
+  }
+
+ private:
+  void EnsureCapacity(std::uint64_t bytes);
+
+  std::vector<std::byte> store_;
+  std::vector<DataObject> objects_;
+  Addr brk_ = 0;
+  std::uint64_t total_object_bytes_ = 0;
+};
+
+}  // namespace dcrm::mem

@@ -1,0 +1,66 @@
+#include "mem/device_memory.h"
+
+namespace dcrm::mem {
+
+void DeviceMemory::ReadGolden(Addr a, std::uint8_t* out,
+                              std::uint64_t n) const {
+  CheckRange(a, n);
+  std::memcpy(out, space_.Data() + a, n);
+}
+
+std::uint64_t DeviceMemory::ReadWordSecded(Addr word_base) const {
+  std::uint64_t golden;
+  std::memcpy(&golden, space_.Data() + word_base, 8);
+  std::uint64_t faulty = golden;
+  faults_.Apply(word_base, reinterpret_cast<std::uint8_t*>(&faulty), 8);
+  if (faulty == golden) return golden;
+
+  // The stored check bits were computed when the (golden) data was
+  // written; the raw faults corrupt data bits only (the paper injects
+  // into application data words).
+  EccWord w;
+  w.data = faulty;
+  w.check = Secded72::Encode(golden).check;
+  const EccDecodeResult r = Secded72::Decode(w);
+  switch (r.status) {
+    case EccStatus::kOk:
+      ++ecc_counters_.escaped;
+      return r.data;
+    case EccStatus::kCorrectedSingle:
+      if (r.data == golden) {
+        ++ecc_counters_.corrected;
+      } else {
+        ++ecc_counters_.miscorrected;
+      }
+      return r.data;
+    case EccStatus::kDetectedDouble:
+    case EccStatus::kDetectedInvalid:
+      ++ecc_counters_.detected_due;
+      throw DueError(word_base);
+  }
+  return r.data;  // unreachable
+}
+
+void DeviceMemory::ReadBytes(Addr a, std::uint8_t* out,
+                             std::uint64_t n) const {
+  CheckRange(a, n);
+  if (ecc_mode_ == EccMode::kNone || faults_.Empty()) {
+    std::memcpy(out, space_.Data() + a, n);
+    faults_.Apply(a, out, n);
+    return;
+  }
+  // SECDED path: process the covering 8-byte-aligned words.
+  std::uint64_t i = 0;
+  while (i < n) {
+    const Addr cur = a + i;
+    const Addr word_base = cur & ~Addr{7};
+    const std::uint64_t word = ReadWordSecded(word_base);
+    const std::uint64_t off = cur - word_base;
+    const std::uint64_t take = std::min<std::uint64_t>(8 - off, n - i);
+    std::memcpy(out + i, reinterpret_cast<const std::uint8_t*>(&word) + off,
+                take);
+    i += take;
+  }
+}
+
+}  // namespace dcrm::mem

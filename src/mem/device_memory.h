@@ -1,0 +1,108 @@
+// Functional device memory: typed reads/writes against the backing
+// store with the permanent stuck-at fault map applied on the read path
+// and, optionally, a real SECDED(72,64) code on every 64-bit word.
+//
+// EccMode::kNone is the paper's emulation model (Luo et al. [39]):
+// injected faults reach the application unfiltered, standing in for
+// multi-bit faults that escape or overwhelm SECDED. EccMode::kSecded
+// models the code faithfully and is used by the ECC ablation bench.
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+#include "mem/address_space.h"
+#include "mem/fault_model.h"
+#include "mem/secded.h"
+
+namespace dcrm::mem {
+
+enum class EccMode : std::uint8_t { kNone, kSecded };
+
+// Thrown when SECDED flags an uncorrectable error (detected
+// uncorrectable error). A DUE is *not* a silent corruption: the run
+// aborts visibly, like the paper's terminate-and-rerun model.
+class DueError : public std::runtime_error {
+ public:
+  explicit DueError(Addr a)
+      : std::runtime_error("SECDED detected uncorrectable error"),
+        addr_(a) {}
+  Addr addr() const { return addr_; }
+
+ private:
+  Addr addr_;
+};
+
+struct EccCounters {
+  std::uint64_t corrected = 0;       // true single-bit corrections
+  std::uint64_t miscorrected = 0;    // "corrected" to the wrong value
+  std::uint64_t detected_due = 0;    // double/invalid detections
+  std::uint64_t escaped = 0;         // faulty word decoded as kOk
+};
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(std::uint64_t capacity_hint = 0)
+      : space_(capacity_hint) {}
+
+  AddressSpace& space() { return space_; }
+  const AddressSpace& space() const { return space_; }
+  FaultMap& faults() { return faults_; }
+  const FaultMap& faults() const { return faults_; }
+
+  void set_ecc_mode(EccMode m) { ecc_mode_ = m; }
+  EccMode ecc_mode() const { return ecc_mode_; }
+  const EccCounters& ecc_counters() const { return ecc_counters_; }
+  void ResetEccCounters() { ecc_counters_ = {}; }
+
+  // Typed read with faults (and ECC, if enabled) applied.
+  template <typename T>
+  T Read(Addr a) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    ReadBytes(a, reinterpret_cast<std::uint8_t*>(&out), sizeof(T));
+    return out;
+  }
+
+  // Typed write. Permanent stuck-at faults are *not* healed by writes;
+  // they re-assert on the next read.
+  template <typename T>
+  void Write(Addr a, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CheckRange(a, sizeof(T));
+    std::memcpy(space_.Data() + a, &v, sizeof(T));
+  }
+
+  // Reads bytes applying faults/ECC. Public so block-granular consumers
+  // (replica comparison, metrics) share one code path.
+  void ReadBytes(Addr a, std::uint8_t* out, std::uint64_t n) const;
+
+  // Reads the stored (golden) bytes with no fault application. Used by
+  // tests and by ECC bookkeeping, never by simulated application code.
+  void ReadGolden(Addr a, std::uint8_t* out, std::uint64_t n) const;
+
+  template <typename T>
+  T ReadGoldenTyped(Addr a) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    ReadGolden(a, reinterpret_cast<std::uint8_t*>(&out), sizeof(T));
+    return out;
+  }
+
+ private:
+  void CheckRange(Addr a, std::uint64_t n) const {
+    if (!space_.ValidRange(a, n)) {
+      throw std::out_of_range("device memory access out of range");
+    }
+  }
+  // Reads one 8-byte-aligned word through the SECDED model.
+  std::uint64_t ReadWordSecded(Addr word_base) const;
+
+  AddressSpace space_;
+  FaultMap faults_;
+  EccMode ecc_mode_ = EccMode::kNone;
+  mutable EccCounters ecc_counters_;
+};
+
+}  // namespace dcrm::mem

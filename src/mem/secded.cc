@@ -1,0 +1,145 @@
+#include "mem/secded.h"
+
+#include <array>
+
+#include "common/bitops.h"
+
+namespace dcrm::mem {
+namespace {
+
+constexpr bool IsPow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Codeword positions 1..71 that carry data bits, in increasing order.
+constexpr std::array<std::uint8_t, 64> MakeDataPositions() {
+  std::array<std::uint8_t, 64> pos{};
+  unsigned idx = 0;
+  for (unsigned p = 1; p <= 71 && idx < 64; ++p) {
+    if (!IsPow2(p)) pos[idx++] = static_cast<std::uint8_t>(p);
+  }
+  return pos;
+}
+
+constexpr std::array<std::uint8_t, 64> kDataPos = MakeDataPositions();
+
+// 72-bit codeword held as lo 64 bits (positions 0..63) and hi 8 bits
+// (positions 64..71).
+struct Codeword {
+  std::uint64_t lo = 0;
+  std::uint8_t hi = 0;
+
+  bool Get(unsigned p) const {
+    return p < 64 ? TestBit(lo, p) : TestBit(hi, p - 64);
+  }
+  void Set(unsigned p, bool v) {
+    if (p < 64) {
+      lo = v ? SetBit(lo, p) : ClearBit(lo, p);
+    } else {
+      hi = static_cast<std::uint8_t>(
+          v ? SetBit(hi, p - 64) : ClearBit(hi, p - 64));
+    }
+  }
+  void Flip(unsigned p) { Set(p, !Get(p)); }
+};
+
+Codeword Assemble(const EccWord& w) {
+  Codeword cw;
+  // Overall parity at position 0.
+  cw.Set(0, TestBit(w.check, 7));
+  // Hamming check bits at power-of-two positions.
+  for (unsigned j = 0; j < 7; ++j) cw.Set(1u << j, TestBit(w.check, j));
+  // Data bits.
+  for (unsigned i = 0; i < 64; ++i) cw.Set(kDataPos[i], TestBit(w.data, i));
+  return cw;
+}
+
+std::uint64_t ExtractData(const Codeword& cw) {
+  std::uint64_t d = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    if (cw.Get(kDataPos[i])) d = SetBit(d, i);
+  }
+  return d;
+}
+
+unsigned Syndrome(const Codeword& cw) {
+  unsigned s = 0;
+  for (unsigned p = 1; p <= 71; ++p) {
+    if (cw.Get(p)) s ^= p;
+  }
+  return s;
+}
+
+unsigned OverallParity(const Codeword& cw) {
+  unsigned p = 0;
+  for (unsigned i = 0; i <= 71; ++i) p ^= cw.Get(i) ? 1u : 0u;
+  return p;
+}
+
+}  // namespace
+
+unsigned Secded72::DataBitPosition(unsigned data_bit) {
+  return kDataPos[data_bit];
+}
+
+EccWord Secded72::Encode(std::uint64_t data) {
+  Codeword cw;
+  for (unsigned i = 0; i < 64; ++i) cw.Set(kDataPos[i], TestBit(data, i));
+  // Each Hamming check bit makes the parity over its coverage class
+  // even. Coverage class of check bit j: positions with bit j set.
+  for (unsigned j = 0; j < 7; ++j) {
+    unsigned parity = 0;
+    for (unsigned p = 1; p <= 71; ++p) {
+      if ((p >> j) & 1u) parity ^= cw.Get(p) ? 1u : 0u;
+    }
+    cw.Set(1u << j, parity != 0);
+  }
+  // Overall parity over positions 0..71 made even.
+  cw.Set(0, false);
+  cw.Set(0, OverallParity(cw) != 0);
+
+  EccWord out;
+  out.data = data;
+  std::uint8_t check = 0;
+  for (unsigned j = 0; j < 7; ++j) {
+    if (cw.Get(1u << j)) check = static_cast<std::uint8_t>(SetBit(check, j));
+  }
+  if (cw.Get(0)) check = static_cast<std::uint8_t>(SetBit(check, 7));
+  out.check = check;
+  return out;
+}
+
+EccDecodeResult Secded72::Decode(const EccWord& w) {
+  Codeword cw = Assemble(w);
+  const unsigned syndrome = Syndrome(cw);
+  const unsigned parity = OverallParity(cw);
+
+  EccDecodeResult r;
+  if (syndrome == 0 && parity == 0) {
+    r.data = ExtractData(cw);
+    r.status = EccStatus::kOk;
+    return r;
+  }
+  if (syndrome == 0 && parity == 1) {
+    // Overall parity bit itself flipped; data intact.
+    r.data = ExtractData(cw);
+    r.status = EccStatus::kCorrectedSingle;
+    return r;
+  }
+  if (parity == 1) {
+    // Odd number of raw errors; syndrome names the (apparent) position.
+    if (syndrome <= 71) {
+      cw.Flip(syndrome);
+      r.data = ExtractData(cw);
+      r.status = EccStatus::kCorrectedSingle;  // may be a miscorrection
+      return r;
+    }
+    r.data = ExtractData(cw);
+    r.status = EccStatus::kDetectedInvalid;
+    return r;
+  }
+  // parity == 0 && syndrome != 0: even number (>=2) of errors.
+  r.data = ExtractData(cw);
+  r.status = EccStatus::kDetectedDouble;
+  return r;
+}
+
+}  // namespace dcrm::mem

@@ -1,0 +1,58 @@
+// A real (72,64) SECDED Hamming codec.
+//
+// The paper assumes SECDED is already deployed on caches/DRAM and that
+// the multi-bit faults it studies escape or overwhelm it. This module
+// implements the actual code so that (a) the assumption can be tested
+// (ablation bench `bench_ablation_secded`) and (b) the simulator can
+// model the realistic per-word behaviour: 1-bit corrected, 2-bit
+// detected, 3-bit usually *miscorrected* (silent corruption!), 4-bit
+// either detected-as-double or, rarely, escaping undetected.
+//
+// Layout: 72-bit codeword. Position 0 is the overall parity bit;
+// positions 1..71 form a Hamming(71,64) code with check bits at the
+// power-of-two positions {1,2,4,8,16,32,64} and the 64 data bits at
+// the remaining positions in increasing order.
+#pragma once
+
+#include <cstdint>
+
+namespace dcrm::mem {
+
+enum class EccStatus : std::uint8_t {
+  kOk,               // no error detected
+  kCorrectedSingle,  // single-bit error corrected (data or check bit)
+  kDetectedDouble,   // uncorrectable double error detected (DUE)
+  kDetectedInvalid,  // syndrome points outside the codeword (DUE)
+};
+
+struct EccWord {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;  // 7 Hamming bits (bits 0..6) + overall (bit 7)
+};
+
+struct EccDecodeResult {
+  std::uint64_t data = 0;
+  EccStatus status = EccStatus::kOk;
+};
+
+class Secded72 {
+ public:
+  // Encodes 64 data bits into data + 8 check bits.
+  static EccWord Encode(std::uint64_t data);
+
+  // Decodes a possibly-corrupted word. Note that with >=3 raw bit
+  // errors the result may be *miscorrected*: status reads
+  // kCorrectedSingle but `data` differs from the original. That is
+  // faithful SECDED behaviour, not a bug.
+  static EccDecodeResult Decode(const EccWord& w);
+
+  // Maps data-bit index (0..63) to codeword position (1..71). Exposed
+  // for tests and for injecting faults at codeword granularity.
+  static unsigned DataBitPosition(unsigned data_bit);
+
+ private:
+  static std::uint8_t HammingChecks(std::uint64_t codeword_lo,
+                                    std::uint8_t codeword_hi);
+};
+
+}  // namespace dcrm::mem

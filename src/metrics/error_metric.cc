@@ -1,0 +1,133 @@
+#include "metrics/error_metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dcrm::metrics {
+
+double VectorDiffFraction(std::span<const float> golden,
+                          std::span<const float> observed, float tol) {
+  if (golden.size() != observed.size()) {
+    throw std::invalid_argument("vector size mismatch");
+  }
+  if (golden.empty()) return 0.0;
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const float a = golden[i];
+    const float b = observed[i];
+    // NaN on either side counts as different unless both NaN with the
+    // same bit pattern is irrelevant for an SDC check — treat any NaN
+    // mismatch as a difference.
+    if (std::isnan(a) || std::isnan(b)) {
+      if (!(std::isnan(a) && std::isnan(b))) ++diff;
+      continue;
+    }
+    if (std::fabs(a - b) > tol) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(golden.size());
+}
+
+double VectorDiffFractionRel(std::span<const float> golden,
+                             std::span<const float> observed,
+                             double rel_tol, double abs_tol) {
+  if (golden.size() != observed.size()) {
+    throw std::invalid_argument("vector size mismatch");
+  }
+  if (golden.empty()) return 0.0;
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const double a = golden[i];
+    const double b = observed[i];
+    if (std::isnan(a) || std::isnan(b)) {
+      if (!(std::isnan(a) && std::isnan(b))) ++diff;
+      continue;
+    }
+    if (std::fabs(a - b) > abs_tol + rel_tol * std::fabs(a)) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(golden.size());
+}
+
+double Nrmse(std::span<const float> golden, std::span<const float> observed) {
+  if (golden.size() != observed.size()) {
+    throw std::invalid_argument("image size mismatch");
+  }
+  if (golden.empty()) return 0.0;
+  double se = 0.0;
+  float lo = golden[0];
+  float hi = golden[0];
+  bool any_nan = false;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const float a = golden[i];
+    const float b = observed[i];
+    if (std::isnan(a) || std::isnan(b) || std::isinf(b)) {
+      any_nan = true;
+      continue;
+    }
+    const double d = static_cast<double>(a) - static_cast<double>(b);
+    se += d * d;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  if (any_nan) return 1.0;  // corrupted beyond measure
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  const double rmse = std::sqrt(se / static_cast<double>(golden.size()));
+  return range > 0 ? rmse / range : (rmse > 0 ? 1.0 : 0.0);
+}
+
+double MisclassificationRate(std::span<const float> golden_scores,
+                             std::span<const float> observed_scores,
+                             std::size_t num_classes) {
+  if (golden_scores.size() != observed_scores.size() || num_classes == 0 ||
+      golden_scores.size() % num_classes != 0) {
+    throw std::invalid_argument("bad score layout");
+  }
+  const std::size_t samples = golden_scores.size() / num_classes;
+  if (samples == 0) return 0.0;
+  std::size_t mis = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    auto argmax = [&](std::span<const float> v) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < num_classes; ++c) {
+        if (v[s * num_classes + c] > v[s * num_classes + best]) best = c;
+      }
+      return best;
+    };
+    if (argmax(golden_scores) != argmax(observed_scores)) ++mis;
+  }
+  return static_cast<double>(mis) / static_cast<double>(samples);
+}
+
+double NrmseRendered(std::span<const float> golden,
+                     std::span<const float> observed) {
+  if (golden.size() != observed.size()) {
+    throw std::invalid_argument("image size mismatch");
+  }
+  if (golden.empty()) return 0.0;
+  float lo = golden[0];
+  float hi = golden[0];
+  for (const float g : golden) {
+    if (std::isnan(g)) continue;
+    lo = std::min(lo, g);
+    hi = std::max(hi, g);
+  }
+  std::vector<float> rendered(observed.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const float v = observed[i];
+    // NaN renders as the low end (black), like a corrupted pixel in a
+    // written image file.
+    rendered[i] = std::isnan(v) ? lo : std::clamp(v, lo, hi);
+  }
+  return Nrmse(golden, rendered);
+}
+
+std::span<const float> AsFloats(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % sizeof(float) != 0) {
+    throw std::invalid_argument("byte span not float-aligned");
+  }
+  return {reinterpret_cast<const float*>(bytes.data()),
+          bytes.size() / sizeof(float)};
+}
+
+}  // namespace dcrm::metrics

@@ -1,0 +1,43 @@
+// Output error metrics of Table II: per-application ways to decide
+// whether a fault-injected run produced a silent data corruption.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dcrm::metrics {
+
+// Fraction of elements whose value differs from the golden output by
+// more than `tol` (absolute). Polybench result vectors.
+double VectorDiffFraction(std::span<const float> golden,
+                          std::span<const float> observed,
+                          float tol = 0.0f);
+
+// As above with a mixed absolute/relative tolerance: elements count
+// as different when |a-b| > abs_tol + rel_tol * |a|.
+double VectorDiffFractionRel(std::span<const float> golden,
+                             std::span<const float> observed,
+                             double rel_tol, double abs_tol);
+
+// Normalized root-mean-square error between two images (float pixels),
+// normalized by the golden dynamic range. AxBench image outputs.
+double Nrmse(std::span<const float> golden, std::span<const float> observed);
+
+// NRMSE as computed on *rendered* images: observed pixels are clamped
+// into the golden image's dynamic range first (AxBench compares the
+// written 8-bit image files, so a fault that turns a stored pixel
+// into 1e38 deviates by at most the pixel range, not by 1e38).
+double NrmseRendered(std::span<const float> golden,
+                     std::span<const float> observed);
+
+// Fraction of argmax classifications that changed. C-NN output: one
+// score vector of `num_classes` per sample, flattened.
+double MisclassificationRate(std::span<const float> golden_scores,
+                             std::span<const float> observed_scores,
+                             std::size_t num_classes);
+
+// Reinterprets raw output-object bytes as floats. Throws if the size
+// is not a multiple of 4.
+std::span<const float> AsFloats(std::span<const std::uint8_t> bytes);
+
+}  // namespace dcrm::metrics

@@ -1,0 +1,29 @@
+// GPGPU-Sim-style configuration files: `key = value` lines with `#`
+// comments, so benches and tools can run alternative hardware
+// configurations without recompiling (`--config=FILE`).
+//
+// Recognized keys mirror the GpuConfig fields, e.g.
+//   num_sms = 15
+//   l1_size_bytes = 16384
+//   sched_policy = gto        # or lrr
+//   max_warp_mlp = 2
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/config.h"
+
+namespace dcrm::sim {
+
+// Applies the file's keys on top of `base` (unspecified keys keep
+// their base values). Throws std::runtime_error on unknown keys or
+// malformed lines, listing the offender.
+GpuConfig ParseGpuConfig(std::istream& is, GpuConfig base = {});
+GpuConfig ParseGpuConfigString(const std::string& text, GpuConfig base = {});
+GpuConfig LoadGpuConfigFile(const std::string& path, GpuConfig base = {});
+
+// Emits every field in the file format (round-trippable).
+std::string DumpGpuConfig(const GpuConfig& cfg);
+
+}  // namespace dcrm::sim

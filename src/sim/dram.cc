@@ -1,0 +1,81 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+namespace dcrm::sim {
+
+DramChannel::DramChannel(const GpuConfig& cfg, const AddrMap& map)
+    : cfg_(cfg), map_(map), banks_(cfg.dram_banks) {}
+
+void DramChannel::Push(const MemRequest& req, std::uint64_t now) {
+  queue_.push_back({req, now, false, 0});
+}
+
+void DramChannel::Tick(std::uint64_t now, std::vector<MemRequest>& done,
+                       GpuStats& stats) {
+  // Retire completed transfers.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->issued && it->done_at <= now) {
+      done.push_back(it->req);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // FR-FCFS: prefer the oldest request hitting an open row in a ready
+  // bank; otherwise the oldest request whose bank is ready.
+  Entry* pick = nullptr;
+  bool pick_is_row_hit = false;
+  for (auto& e : queue_) {
+    if (e.issued) continue;
+    const std::uint32_t b = map_.Bank(e.req.block);
+    const Bank& bank = banks_[b];
+    if (bank.ready_at > now) continue;
+    const bool row_hit =
+        bank.open_row >= 0 &&
+        bank.open_row == static_cast<std::int64_t>(map_.Row(e.req.block));
+    if (row_hit) {
+      pick = &e;
+      pick_is_row_hit = true;
+      break;  // oldest row hit wins
+    }
+    if (pick == nullptr) pick = &e;  // remember oldest ready as fallback
+  }
+  if (pick == nullptr) return;
+
+  const std::uint32_t b = map_.Bank(pick->req.block);
+  Bank& bank = banks_[b];
+  const auto row = static_cast<std::int64_t>(map_.Row(pick->req.block));
+
+  std::uint64_t access_latency = cfg_.t_cl;
+  if (!pick_is_row_hit) {
+    if (bank.open_row >= 0) access_latency += cfg_.t_rp;  // precharge
+    access_latency += cfg_.t_rcd;                          // activate
+  }
+  // Small deterministic per-request jitter (0..3 cycles, hashed from
+  // the request id) standing in for refresh/arbitration noise. Without
+  // it the perfectly symmetric workloads phase-lock: all SMs' warps
+  // stream in lockstep and the L2 hit pattern becomes chaotically
+  // sensitive to any perturbation (e.g. enabling replication), which
+  // real arbitration noise decorrelates.
+  std::uint64_t h = pick->req.id * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  access_latency += h & 3;
+  const std::uint64_t data_start =
+      std::max(now + access_latency, bus_free_);
+  pick->done_at = data_start + cfg_.burst_cycles;
+  pick->issued = true;
+  bus_free_ = pick->done_at;
+  bank.open_row = row;
+  bank.ready_at = pick->done_at;
+
+  if (pick->req.is_write) {
+    ++stats.dram_writes;
+  } else {
+    ++stats.dram_reads;
+  }
+  if (pick_is_row_hit) ++stats.dram_row_hits;
+}
+
+}  // namespace dcrm::sim

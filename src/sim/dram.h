@@ -1,0 +1,49 @@
+// One GDDR5-like DRAM channel: 16 banks with row buffers, an FR-FCFS
+// scheduler (row hits first, then oldest), a shared data bus.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/request.h"
+#include "sim/stats.h"
+
+namespace dcrm::sim {
+
+class DramChannel {
+ public:
+  DramChannel(const GpuConfig& cfg, const AddrMap& map);
+
+  bool CanAccept() const { return queue_.size() < cfg_.dram_queue; }
+  void Push(const MemRequest& req, std::uint64_t now);
+
+  // Advances the channel: issues at most one command per cycle and
+  // appends requests whose data transfer completed to `done`.
+  void Tick(std::uint64_t now, std::vector<MemRequest>& done,
+            GpuStats& stats);
+
+  bool Idle() const { return queue_.empty(); }
+  std::size_t QueueDepth() const { return queue_.size(); }
+
+ private:
+  struct Bank {
+    std::int64_t open_row = -1;
+    std::uint64_t ready_at = 0;  // bank can accept a new command then
+  };
+  struct Entry {
+    MemRequest req;
+    std::uint64_t arrival = 0;
+    bool issued = false;
+    std::uint64_t done_at = 0;
+  };
+
+  GpuConfig cfg_;
+  AddrMap map_;
+  std::vector<Bank> banks_;
+  std::deque<Entry> queue_;
+  std::uint64_t bus_free_ = 0;
+};
+
+}  // namespace dcrm::sim

@@ -1,0 +1,93 @@
+#include "sim/gpu.h"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace dcrm::sim {
+
+Gpu::Gpu(const GpuConfig& cfg, ProtectionPlan plan)
+    : cfg_(cfg),
+      plan_(std::move(plan)),
+      map_{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()},
+      icnt_(cfg) {
+  plan_.Validate(cfg_);
+  for (std::uint32_t s = 0; s < cfg_.num_sms; ++s) {
+    sms_.push_back(std::make_unique<SmCore>(cfg_, s, map_, plan_));
+  }
+  for (std::uint32_t p = 0; p < cfg_.num_partitions; ++p) {
+    partitions_.push_back(std::make_unique<MemPartition>(cfg_, map_, p));
+  }
+}
+
+GpuStats Gpu::Run(const std::vector<trace::KernelTrace>& kernels,
+                  std::uint64_t max_cycles) {
+  GpuStats stats;
+  for (const auto& k : kernels) RunKernel(k, stats, max_cycles);
+  stats.cycles = cycle_;
+  return stats;
+}
+
+void Gpu::RunKernel(const trace::KernelTrace& kernel, GpuStats& stats,
+                    std::uint64_t max_cycles) {
+  // Build the complete CTA list. Warps that never touched memory are
+  // absent from the trace but still occupy warp slots; give them empty
+  // traces so occupancy is faithful.
+  const std::uint32_t warps_per_cta = kernel.cfg.WarpsPerCta();
+  const std::uint64_t num_ctas = kernel.cfg.NumCtas();
+  // deque: stable addresses for the pointers handed to the SMs.
+  std::deque<trace::WarpTrace> empties;
+  std::map<WarpId, const trace::WarpTrace*> by_id;
+  for (const auto& w : kernel.warps) by_id[w.warp] = &w;
+
+  std::vector<std::vector<const trace::WarpTrace*>> ctas(num_ctas);
+  for (std::uint64_t c = 0; c < num_ctas; ++c) {
+    auto& list = ctas[c];
+    list.reserve(warps_per_cta);
+    for (std::uint32_t w = 0; w < warps_per_cta; ++w) {
+      const WarpId id = static_cast<WarpId>(c * warps_per_cta + w);
+      if (auto it = by_id.find(id); it != by_id.end()) {
+        list.push_back(it->second);
+      } else {
+        empties.push_back(trace::WarpTrace{id, static_cast<std::uint32_t>(c),
+                                           {}});
+        list.push_back(&empties.back());
+      }
+    }
+  }
+
+  std::uint64_t next_cta = 0;
+  const std::uint64_t start_cycle = cycle_;
+  for (;;) {
+    // Dispatch: fill free CTA slots round-robin across SMs.
+    bool progress = true;
+    while (progress && next_cta < num_ctas) {
+      progress = false;
+      for (auto& sm : sms_) {
+        if (next_cta >= num_ctas) break;
+        if (sm->CanAcceptCta(warps_per_cta)) {
+          sm->AddCta(ctas[next_cta]);
+          ++next_cta;
+          progress = true;
+        }
+      }
+    }
+
+    for (auto& p : partitions_) p->Tick(cycle_, icnt_, stats);
+    for (auto& sm : sms_) sm->Tick(cycle_, icnt_, stats);
+    ++cycle_;
+
+    if (next_cta >= num_ctas) {
+      bool busy = !icnt_.Idle();
+      for (const auto& sm : sms_) busy = busy || sm->Busy();
+      for (const auto& p : partitions_) busy = busy || !p->Idle();
+      if (!busy) break;
+    }
+    if (cycle_ - start_cycle > max_cycles) {
+      throw std::runtime_error("timing simulation exceeded max_cycles");
+    }
+  }
+  for (auto& sm : sms_) sm->Reset();
+}
+
+}  // namespace dcrm::sim

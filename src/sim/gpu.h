@@ -1,0 +1,45 @@
+// Top-level timing simulator: SMs + interconnect + memory partitions,
+// replaying kernel traces to completion. Kernels run back-to-back
+// (caches stay warm across kernels of one application, as on hardware).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/interconnect.h"
+#include "sim/partition.h"
+#include "sim/replication.h"
+#include "sim/sm.h"
+#include "sim/stats.h"
+#include "trace/trace.h"
+
+namespace dcrm::sim {
+
+class Gpu {
+ public:
+  Gpu(const GpuConfig& cfg, ProtectionPlan plan);
+
+  // Simulates the kernels in order; returns accumulated statistics.
+  // Throws std::runtime_error if the simulation exceeds `max_cycles`
+  // (deadlock guard).
+  GpuStats Run(const std::vector<trace::KernelTrace>& kernels,
+               std::uint64_t max_cycles = 2'000'000'000ULL);
+
+  const ProtectionPlan& plan() const { return plan_; }
+
+ private:
+  void RunKernel(const trace::KernelTrace& kernel, GpuStats& stats,
+                 std::uint64_t max_cycles);
+
+  GpuConfig cfg_;
+  ProtectionPlan plan_;
+  AddrMap map_;
+  Interconnect icnt_;
+  std::vector<std::unique_ptr<SmCore>> sms_;
+  std::vector<std::unique_ptr<MemPartition>> partitions_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace dcrm::sim

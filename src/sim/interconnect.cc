@@ -1,0 +1,55 @@
+#include "sim/interconnect.h"
+
+namespace dcrm::sim {
+
+Interconnect::Interconnect(const GpuConfig& cfg)
+    : cfg_(cfg),
+      req_pipes_(cfg.num_partitions),
+      resp_pipes_(cfg.num_sms),
+      resp_port_free_(cfg.num_partitions, 0) {}
+
+void Interconnect::PushRequest(const MemRequest& req, std::uint64_t now,
+                               std::uint32_t partition) {
+  req_pipes_[partition].push_back({now + cfg_.icnt_latency, req});
+}
+
+std::optional<MemRequest> Interconnect::PopRequestFor(std::uint32_t partition,
+                                                      std::uint64_t now) {
+  auto& pipe = req_pipes_[partition];
+  if (pipe.empty() || pipe.front().ready > now) return std::nullopt;
+  MemRequest req = pipe.front().req;
+  pipe.pop_front();
+  return req;
+}
+
+void Interconnect::PushResponse(const MemRequest& req, std::uint64_t now,
+                                std::uint32_t partition) {
+  // Serialize on the partition's response port, then traverse the pipe.
+  const std::uint32_t occupancy =
+      kBlockSize / cfg_.icnt_resp_bytes_per_cycle;
+  std::uint64_t start = std::max(now, resp_port_free_[partition]);
+  resp_port_free_[partition] = start + occupancy;
+  resp_pipes_[req.sm].push_back(
+      {start + occupancy + cfg_.icnt_latency, req});
+}
+
+std::optional<MemRequest> Interconnect::PopResponseFor(std::uint32_t sm,
+                                                       std::uint64_t now) {
+  auto& pipe = resp_pipes_[sm];
+  if (pipe.empty() || pipe.front().ready > now) return std::nullopt;
+  MemRequest req = pipe.front().req;
+  pipe.pop_front();
+  return req;
+}
+
+bool Interconnect::Idle() const {
+  for (const auto& p : req_pipes_) {
+    if (!p.empty()) return false;
+  }
+  for (const auto& p : resp_pipes_) {
+    if (!p.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace dcrm::sim

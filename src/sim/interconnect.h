@@ -1,0 +1,53 @@
+// SM <-> memory-partition crossbar: a fixed-latency pipe per
+// destination with a bandwidth-limited response port per partition
+// (128B responses at icnt_resp_bytes_per_cycle).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/request.h"
+
+namespace dcrm::sim {
+
+class Interconnect {
+ public:
+  Interconnect(const GpuConfig& cfg);
+
+  // SM -> partition. One injection per SM per cycle is enforced by the
+  // caller (the LD/ST unit processes at most `ldst_throughput`
+  // transactions per cycle).
+  void PushRequest(const MemRequest& req, std::uint64_t now,
+                   std::uint32_t partition);
+
+  // Partition pulls at most one request per call; returns a request
+  // only if its pipe delay has elapsed.
+  std::optional<MemRequest> PopRequestFor(std::uint32_t partition,
+                                          std::uint64_t now);
+
+  // Partition -> SM. Models response-port serialization: each 128B
+  // response occupies the partition's port for 128/resp_bytes cycles.
+  void PushResponse(const MemRequest& req, std::uint64_t now,
+                    std::uint32_t partition);
+
+  std::optional<MemRequest> PopResponseFor(std::uint32_t sm,
+                                           std::uint64_t now);
+
+  bool Idle() const;
+
+ private:
+  struct Timed {
+    std::uint64_t ready = 0;
+    MemRequest req;
+  };
+
+  GpuConfig cfg_;
+  std::vector<std::deque<Timed>> req_pipes_;   // per partition
+  std::vector<std::deque<Timed>> resp_pipes_;  // per SM
+  std::vector<std::uint64_t> resp_port_free_;  // per partition
+};
+
+}  // namespace dcrm::sim

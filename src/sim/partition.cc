@@ -1,0 +1,81 @@
+#include "sim/partition.h"
+
+namespace dcrm::sim {
+
+MemPartition::MemPartition(const GpuConfig& cfg, const AddrMap& map,
+                           std::uint32_t id)
+    : cfg_(cfg), id_(id), l2_(cfg.L2Sets(), cfg.l2_ways), dram_(cfg, map) {}
+
+void MemPartition::Tick(std::uint64_t now, Interconnect& icnt,
+                        GpuStats& stats) {
+  // 1. DRAM completions: fill L2, answer all merged waiters.
+  dram_done_.clear();
+  dram_.Tick(now, dram_done_, stats);
+  for (const MemRequest& r : dram_done_) {
+    if (r.is_write) continue;
+    l2_.Fill(r.block);
+    const auto it = mshrs_.find(r.block);
+    if (it != mshrs_.end()) {
+      for (const MemRequest& waiter : it->second) {
+        icnt.PushResponse(waiter, now, id_);
+      }
+      mshrs_.erase(it);
+    }
+  }
+
+  // 2. Ready L2-hit responses.
+  while (!hit_resps_.empty() && hit_resps_.top().ready <= now) {
+    icnt.PushResponse(hit_resps_.top().req, now, id_);
+    hit_resps_.pop();
+  }
+
+  // 3. Accept one new request per cycle from the interconnect,
+  // respecting MSHR and DRAM queue capacity (back-pressure by not
+  // popping).
+  if (mshrs_.size() < cfg_.l2_mshrs && dram_.CanAccept()) {
+    if (auto req = icnt.PopRequestFor(id_, now)) {
+      HandleRequest(*req, now, icnt, stats);
+    }
+  }
+}
+
+void MemPartition::HandleRequest(const MemRequest& req, std::uint64_t now,
+                                 Interconnect& icnt, GpuStats& stats) {
+  ++stats.l2_accesses;
+  if (req.is_write) {
+    // Write-back L2: a write hit is absorbed by the cache; a write
+    // miss is forwarded to DRAM without allocation. Neither produces
+    // a response.
+    if (l2_.Access(req.block, /*allocate=*/false)) {
+      ++stats.l2_hits;
+    } else {
+      ++stats.l2_misses;
+      dram_.Push(req, now);
+    }
+    return;
+  }
+  // Read. Merge into an outstanding miss first to avoid double-counting
+  // DRAM traffic.
+  if (auto it = mshrs_.find(req.block); it != mshrs_.end()) {
+    ++stats.l2_misses;
+    it->second.push_back(req);
+    return;
+  }
+  if (l2_.Access(req.block, /*allocate=*/false)) {
+    ++stats.l2_hits;
+    if (req.is_replica) ++stats.replica_l2_hits;
+    hit_resps_.push({now + cfg_.l2_latency, req});
+    return;
+  }
+  ++stats.l2_misses;
+  if (req.is_replica) ++stats.replica_l2_misses;
+  mshrs_[req.block].push_back(req);
+  MemRequest dram_req = req;
+  dram_.Push(dram_req, now);
+}
+
+bool MemPartition::Idle() const {
+  return dram_.Idle() && mshrs_.empty() && hit_resps_.empty();
+}
+
+}  // namespace dcrm::sim

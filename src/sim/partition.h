@@ -1,0 +1,48 @@
+// One memory partition: an L2 cache bank (256KB, 16-way, write-back)
+// in front of one DRAM channel, fed by the interconnect.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "sim/dram.h"
+#include "sim/interconnect.h"
+#include "sim/tag_array.h"
+
+namespace dcrm::sim {
+
+class MemPartition {
+ public:
+  MemPartition(const GpuConfig& cfg, const AddrMap& map, std::uint32_t id);
+
+  // One cycle: retire DRAM, emit ready hit-responses, accept new
+  // requests from the interconnect.
+  void Tick(std::uint64_t now, Interconnect& icnt, GpuStats& stats);
+
+  bool Idle() const;
+
+ private:
+  void HandleRequest(const MemRequest& req, std::uint64_t now,
+                     Interconnect& icnt, GpuStats& stats);
+
+  GpuConfig cfg_;
+  std::uint32_t id_;
+  TagArray l2_;
+  DramChannel dram_;
+  // Read-miss MSHRs: block -> requests waiting for the DRAM fill.
+  std::map<Addr, std::vector<MemRequest>> mshrs_;
+  // L2 hit responses in flight (ready_cycle ordered).
+  struct PendingResp {
+    std::uint64_t ready;
+    MemRequest req;
+    bool operator>(const PendingResp& o) const { return ready > o.ready; }
+  };
+  std::priority_queue<PendingResp, std::vector<PendingResp>,
+                      std::greater<PendingResp>>
+      hit_resps_;
+  std::vector<MemRequest> dram_done_;  // scratch
+};
+
+}  // namespace dcrm::sim

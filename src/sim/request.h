@@ -1,0 +1,38 @@
+// Memory request flowing between SMs, the interconnect, L2 partitions
+// and DRAM channels. Granularity is one 128B block transaction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dcrm::sim {
+
+struct MemRequest {
+  std::uint64_t id = 0;     // unique per simulation, for debugging
+  Addr block = 0;           // 128B-aligned address
+  bool is_write = false;
+  bool is_replica = false;  // compare/vote traffic (diagnostics)
+  std::uint32_t sm = 0;     // originating SM
+};
+
+// Static address mapping helpers (block-interleaved across channels,
+// then across banks, then rows).
+struct AddrMap {
+  std::uint32_t num_channels;
+  std::uint32_t num_banks;
+  std::uint32_t blocks_per_row;
+
+  std::uint32_t Channel(Addr block) const {
+    return static_cast<std::uint32_t>((block / kBlockSize) % num_channels);
+  }
+  std::uint32_t Bank(Addr block) const {
+    return static_cast<std::uint32_t>((block / kBlockSize / num_channels) %
+                                      num_banks);
+  }
+  std::uint64_t Row(Addr block) const {
+    return block / kBlockSize / num_channels / num_banks / blocks_per_row;
+  }
+};
+
+}  // namespace dcrm::sim

@@ -1,0 +1,345 @@
+#include "sim/sm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcrm::sim {
+
+SmCore::SmCore(const GpuConfig& cfg, std::uint32_t id, const AddrMap& map,
+               const ProtectionPlan& plan)
+    : cfg_(cfg),
+      id_(id),
+      map_(map),
+      plan_(&plan),
+      l1_(cfg.L1Sets(), cfg.l1_ways),
+      cta_slots_(cfg.max_ctas_per_sm, -1) {}
+
+bool SmCore::CanAcceptCta(std::uint32_t warps_in_cta) const {
+  if (resident_warps_ + warps_in_cta > cfg_.max_warps_per_sm) return false;
+  return std::any_of(cta_slots_.begin(), cta_slots_.end(),
+                     [](std::int32_t s) { return s < 0; });
+}
+
+void SmCore::AddCta(const std::vector<const trace::WarpTrace*>& warps) {
+  const auto slot_it =
+      std::find_if(cta_slots_.begin(), cta_slots_.end(),
+                   [](std::int32_t s) { return s < 0; });
+  if (slot_it == cta_slots_.end()) {
+    throw std::logic_error("AddCta called with no free CTA slot");
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_it - cta_slots_.begin());
+  *slot_it = static_cast<std::int32_t>(warps.size());
+  for (const trace::WarpTrace* wt : warps) {
+    WarpCtx ctx;
+    ctx.tr = wt;
+    ctx.age = next_age_++;
+    ctx.cta_slot = slot;
+    // Reuse a retired warp context if available to bound the vector.
+    auto dead = std::find_if(warps_.begin(), warps_.end(),
+                             [](const WarpCtx& w) { return w.done; });
+    if (dead != warps_.end()) {
+      *dead = ctx;
+    } else {
+      warps_.push_back(ctx);
+    }
+  }
+  resident_warps_ += static_cast<std::uint32_t>(warps.size());
+}
+
+void SmCore::Tick(std::uint64_t now, Interconnect& icnt, GpuStats& stats) {
+  // Free lazy-compare entries whose comparator pass finished.
+  while (!compare_done_.empty() && compare_done_.top() <= now) {
+    compare_done_.pop();
+    --compare_in_use_;
+  }
+  ProcessCompletions(now);
+  ProcessResponses(now, icnt, stats);
+  ProcessLdst(now, icnt, stats);
+  IssueWarps(now, stats);
+}
+
+void SmCore::ProcessCompletions(std::uint64_t now) {
+  while (!hit_completions_.empty() && hit_completions_.top().first <= now) {
+    const std::uint32_t slot = hit_completions_.top().second;
+    hit_completions_.pop();
+    CompleteBlocking(slot, now);
+  }
+}
+
+void SmCore::CompleteBlocking(std::uint32_t warp_slot, std::uint64_t now) {
+  WarpCtx& w = warps_[warp_slot];
+  if (w.pending == 0) {
+    throw std::logic_error("transaction completion with no pending count");
+  }
+  --w.pending;
+  if (w.pending == 0 && w.queued_txns == 0) {
+    // Dependent arithmetic consumes the loaded values before the next
+    // memory instruction can issue.
+    w.inflight = 0;
+    w.ready_at = now + cfg_.alu_cycles_per_mem;
+    RetireWarpIfDone(warp_slot);
+  }
+}
+
+void SmCore::RetireWarpIfDone(std::uint32_t warp_slot) {
+  WarpCtx& w = warps_[warp_slot];
+  if (w.done || !w.Finished()) return;
+  w.done = true;
+  resident_warps_ -= 1;
+  if (--cta_slots_[w.cta_slot] == 0) {
+    cta_slots_[w.cta_slot] = -1;  // CTA retired; slot reusable
+  }
+}
+
+void SmCore::ProcessResponses(std::uint64_t now, Interconnect& icnt,
+                              GpuStats& stats) {
+  // Responses are already serialized by the partition ports; drain all
+  // that arrived this cycle.
+  while (auto resp = icnt.PopResponseFor(id_, now)) {
+    auto* table = &mshrs_;
+    auto it = mshrs_.find(resp->block);
+    if (it == mshrs_.end()) {
+      table = &replica_mshrs_;
+      it = replica_mshrs_.find(resp->block);
+      if (it == replica_mshrs_.end()) {
+        throw std::logic_error("response with no matching MSHR");
+      }
+    }
+    if (it->second.fill) l1_.Fill(resp->block);
+    for (const Waiter& waiter : it->second.waiters) {
+      switch (waiter.kind) {
+        case WaiterKind::kBlocking:
+          CompleteBlocking(waiter.warp_slot, now);
+          break;
+        case WaiterKind::kCompare: {
+          // 256-bit comparator: 128B in 4 passes; entries free in
+          // arrival order.
+          comparator_free_ =
+              std::max(comparator_free_, now) + cfg_.CompareCycles();
+          compare_done_.push(comparator_free_);
+          ++stats.comparisons;
+          break;
+        }
+      }
+    }
+    table->erase(it);
+  }
+}
+
+void SmCore::ProcessLdst(std::uint64_t now, Interconnect& icnt,
+                         GpuStats& stats) {
+  for (std::uint32_t n = 0; n < cfg_.ldst_throughput && !ldst_q_.empty();
+       ++n) {
+    const Transaction t = ldst_q_.front();
+    WarpCtx& w = warps_[t.warp_slot];
+
+    if (t.is_store) {
+      // Write-through, no-allocate: update the line if present, always
+      // forward to the partition.
+      l1_.Access(t.block, /*allocate=*/false);
+      MemRequest req{next_req_id_++, t.block, /*is_write=*/true,
+                     /*is_replica=*/false, id_};
+      icnt.PushRequest(req, now, map_.Channel(t.block));
+      if (plan_->propagate_stores && plan_->PcTracked(t.pc)) {
+        if (const ProtectedRange* range = plan_->Lookup(t.block)) {
+          // Writable-object extension: mirror the store to each copy
+          // (fire-and-forget, like the primary write-through).
+          for (unsigned c = 0; c < plan_->NumCopies(); ++c) {
+            const Addr rblock = range->ReplicaAddr(c, t.block);
+            ++stats.replica_transactions;
+            MemRequest rreq{next_req_id_++, rblock, /*is_write=*/true,
+                            /*is_replica=*/true, id_};
+            icnt.PushRequest(rreq, now, map_.Channel(rblock));
+          }
+        }
+      }
+      ldst_q_.pop_front();
+      --w.queued_txns;
+      if (w.pending == 0 && w.queued_txns == 0) {
+        w.inflight = 0;
+        RetireWarpIfDone(t.warp_slot);
+      }
+      continue;
+    }
+
+    const ProtectedRange* range =
+        plan_->PcTracked(t.pc) ? plan_->Lookup(t.block) : nullptr;
+
+    // Access with allocate=false is idempotent on a miss, so stall
+    // retries below re-evaluate it safely next cycle.
+    if (l1_.Access(t.block, /*allocate=*/false)) {
+      ++stats.l1_accesses;
+      ++stats.l1_hits;
+      hit_completions_.emplace(now + cfg_.l1_latency, t.warp_slot);
+      ldst_q_.pop_front();
+      --w.queued_txns;
+      continue;
+    }
+
+    // L1 miss. Merge into an existing MSHR if possible (a pending
+    // hit: no new L2 traffic).
+    if (auto it = mshrs_.find(t.block); it != mshrs_.end()) {
+      ++stats.l1_accesses;
+      ++stats.l1_pending_hits;
+      it->second.waiters.push_back({t.warp_slot, WaiterKind::kBlocking});
+      it->second.fill = true;
+      ldst_q_.pop_front();
+      --w.queued_txns;
+      continue;
+    }
+    if (mshrs_.size() >= cfg_.l1_mshrs) {
+      ++stats.mshr_stalls;  // counted per stalled cycle
+      break;                // head-of-line blocked; retry next cycle
+    }
+    // Lazy detection needs a compare-queue entry per replicated miss.
+    const bool lazy_detect = range != nullptr &&
+                             plan_->scheme == Scheme::kDetectOnly &&
+                             plan_->lazy_compare;
+    if (lazy_detect && compare_in_use_ >= cfg_.compare_queue_entries) {
+      ++stats.compare_queue_stalls;
+      break;
+    }
+    if (range != nullptr &&
+        replica_mshrs_.size() + plan_->NumCopies() > kReplicaMshrCap) {
+      ++stats.compare_queue_stalls;  // replica tracking buffer full
+      break;
+    }
+    ++stats.l1_accesses;
+    ++stats.l1_misses;
+    if (cfg_.collect_block_misses) {
+      ++stats.block_misses[t.block / kBlockSize];
+    }
+
+    Mshr& mshr = mshrs_[t.block];
+    mshr.fill = true;
+    mshr.waiters.push_back({t.warp_slot, WaiterKind::kBlocking});
+    MemRequest req{next_req_id_++, t.block, /*is_write=*/false,
+                   /*is_replica=*/false, id_};
+    icnt.PushRequest(req, now, map_.Channel(t.block));
+
+    if (range != nullptr) {
+      const bool blocking_copies =
+          plan_->scheme == Scheme::kDetectCorrect || !plan_->lazy_compare;
+      for (unsigned c = 0; c < plan_->NumCopies(); ++c) {
+        const Addr rblock = range->ReplicaAddr(c, t.block);
+        ++stats.replica_transactions;
+        const Waiter waiter{t.warp_slot, blocking_copies
+                                             ? WaiterKind::kBlocking
+                                             : WaiterKind::kCompare};
+        if (blocking_copies) ++w.pending;
+        if (!blocking_copies) ++compare_in_use_;
+        if (auto rit = replica_mshrs_.find(rblock);
+            rit != replica_mshrs_.end()) {
+          rit->second.waiters.push_back(waiter);
+        } else {
+          Mshr& rmshr = replica_mshrs_[rblock];
+          rmshr.fill = false;  // compare traffic never fills L1
+          rmshr.waiters.push_back(waiter);
+          MemRequest rreq{next_req_id_++, rblock, /*is_write=*/false,
+                          /*is_replica=*/true, id_};
+          icnt.PushRequest(rreq, now, map_.Channel(rblock));
+        }
+      }
+    }
+    ldst_q_.pop_front();
+    --w.queued_txns;
+  }
+}
+
+bool SmCore::CanIssue(const WarpCtx& w, std::uint64_t now) const {
+  if (w.done || w.tr == nullptr) return false;
+  if (w.next_inst >= w.tr->insts.size()) return false;
+  if (w.inflight >= cfg_.max_warp_mlp) return false;
+  if (now < w.ready_at) return false;
+  const trace::WarpMemInst& inst = w.tr->insts[w.next_inst];
+  return ldst_q_.size() + inst.blocks.size() <= kLdstQueueCap;
+}
+
+void SmCore::IssueOne(std::uint32_t idx, std::uint64_t now,
+                      GpuStats& stats) {
+  WarpCtx& w = warps_[idx];
+  const trace::WarpMemInst& inst = w.tr->insts[w.next_inst];
+  const bool is_store = inst.type == AccessType::kStore;
+  for (Addr block : inst.blocks) {
+    ldst_q_.push_back({block, idx, inst.pc, is_store});
+    ++w.queued_txns;
+  }
+  if (!is_store) {
+    w.pending += static_cast<std::uint32_t>(inst.blocks.size());
+    ++w.inflight;
+  } else {
+    // Stores don't block; the ALU gate still spaces instructions.
+    w.ready_at = now + cfg_.alu_cycles_per_mem;
+  }
+  ++w.next_inst;
+  ++stats.warp_insts_issued;
+  ++stats.mem_insts;
+  stats.transactions += inst.blocks.size();
+}
+
+void SmCore::IssueWarps(std::uint64_t now, GpuStats& stats) {
+  if (warps_.empty()) return;
+  const auto n = static_cast<std::uint32_t>(warps_.size());
+  // Retire warps whose trace ran dry (including empty traces).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!warps_[i].done && warps_[i].tr != nullptr) RetireWarpIfDone(i);
+  }
+  for (std::uint32_t slot = 0; slot < cfg_.issue_width; ++slot) {
+    std::int32_t pick = -1;
+    if (cfg_.sched_policy == SchedPolicy::kGto) {
+      // Greedy-then-oldest: stick with the current warp while it can
+      // issue; otherwise fall back to the oldest issuable warp.
+      if (greedy_ >= 0 && greedy_ < static_cast<std::int32_t>(n) &&
+          CanIssue(warps_[static_cast<std::uint32_t>(greedy_)], now)) {
+        pick = greedy_;
+      } else {
+        std::uint64_t best_age = ~std::uint64_t{0};
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (warps_[i].age < best_age && CanIssue(warps_[i], now)) {
+            best_age = warps_[i].age;
+            pick = static_cast<std::int32_t>(i);
+          }
+        }
+      }
+    } else {  // loose round-robin
+      for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint32_t idx = (rr_cursor_ + k) % n;
+        if (CanIssue(warps_[idx], now)) {
+          pick = static_cast<std::int32_t>(idx);
+          rr_cursor_ = (idx + 1) % n;
+          break;
+        }
+      }
+    }
+    if (pick < 0) break;
+    IssueOne(static_cast<std::uint32_t>(pick), now, stats);
+    greedy_ = pick;
+  }
+}
+
+bool SmCore::Busy() const {
+  if (!ldst_q_.empty() || !mshrs_.empty() || !replica_mshrs_.empty() ||
+      !hit_completions_.empty()) {
+    return true;
+  }
+  if (compare_in_use_ > 0) return true;
+  return std::any_of(warps_.begin(), warps_.end(),
+                     [](const WarpCtx& w) { return !w.done; });
+}
+
+void SmCore::Reset() {
+  warps_.clear();
+  std::fill(cta_slots_.begin(), cta_slots_.end(), -1);
+  resident_warps_ = 0;
+  ldst_q_.clear();
+  mshrs_.clear();
+  replica_mshrs_.clear();
+  while (!hit_completions_.empty()) hit_completions_.pop();
+  while (!compare_done_.empty()) compare_done_.pop();
+  compare_in_use_ = 0;
+  comparator_free_ = 0;
+  rr_cursor_ = 0;
+  greedy_ = -1;
+}
+
+}  // namespace dcrm::sim

@@ -1,0 +1,127 @@
+// One streaming multiprocessor: resident CTAs, warp contexts driven by
+// their memory traces, a loose round-robin scheduler, an L1 data cache
+// with MSHRs, and the LD/ST-unit replication hardware (protected-range
+// lookup, replica access generation, lazy-compare queue, comparator).
+//
+// Latency tolerance — the property the paper's low overheads rest on —
+// emerges naturally: while one warp waits on memory, others issue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/interconnect.h"
+#include "sim/replication.h"
+#include "sim/stats.h"
+#include "sim/tag_array.h"
+#include "trace/trace.h"
+
+namespace dcrm::sim {
+
+class SmCore {
+ public:
+  SmCore(const GpuConfig& cfg, std::uint32_t id, const AddrMap& map,
+         const ProtectionPlan& plan);
+
+  bool CanAcceptCta(std::uint32_t warps_in_cta) const;
+  void AddCta(const std::vector<const trace::WarpTrace*>& warps);
+
+  void Tick(std::uint64_t now, Interconnect& icnt, GpuStats& stats);
+
+  // True while any resident warp or in-flight structure has work left.
+  bool Busy() const;
+
+  // Removes retired warps/CTAs; returns number of CTA slots freed this
+  // call so the dispatcher can refill.
+  void Reset();
+
+ private:
+  struct WarpCtx {
+    const trace::WarpTrace* tr = nullptr;
+    std::uint32_t next_inst = 0;
+    std::uint32_t pending = 0;      // outstanding blocking transactions
+    std::uint32_t queued_txns = 0;  // transactions still in the LD/ST queue
+    std::uint32_t inflight = 0;     // outstanding mem insts (MLP window)
+    std::uint64_t ready_at = 0;     // ALU-gate: may issue at/after this
+    std::uint64_t age = 0;          // dispatch order, for GTO priority
+    std::uint32_t cta_slot = 0;
+    bool done = false;
+
+    bool Finished() const {
+      return tr == nullptr ||
+             (next_inst >= tr->insts.size() && pending == 0 &&
+              queued_txns == 0);
+    }
+  };
+
+  struct Transaction {
+    Addr block = 0;
+    std::uint32_t warp_slot = 0;
+    Pc pc = 0;
+    bool is_store = false;
+  };
+
+  enum class WaiterKind : std::uint8_t { kBlocking, kCompare };
+  struct Waiter {
+    std::uint32_t warp_slot = 0;
+    WaiterKind kind = WaiterKind::kBlocking;
+  };
+  struct Mshr {
+    std::vector<Waiter> waiters;
+    bool fill = false;  // fill L1 on response (primaries only)
+  };
+
+  bool CanIssue(const WarpCtx& w, std::uint64_t now) const;
+  void IssueOne(std::uint32_t idx, std::uint64_t now, GpuStats& stats);
+  void ProcessCompletions(std::uint64_t now);
+  void ProcessResponses(std::uint64_t now, Interconnect& icnt,
+                        GpuStats& stats);
+  void ProcessLdst(std::uint64_t now, Interconnect& icnt, GpuStats& stats);
+  void IssueWarps(std::uint64_t now, GpuStats& stats);
+  void CompleteBlocking(std::uint32_t warp_slot, std::uint64_t now);
+  void RetireWarpIfDone(std::uint32_t warp_slot);
+
+  GpuConfig cfg_;
+  std::uint32_t id_;
+  AddrMap map_;
+  const ProtectionPlan* plan_;
+
+  TagArray l1_;
+  std::vector<WarpCtx> warps_;
+  std::vector<std::int32_t> cta_slots_;  // remaining warps per slot, -1 free
+  std::uint32_t resident_warps_ = 0;
+
+  std::deque<Transaction> ldst_q_;
+  static constexpr std::size_t kLdstQueueCap = 64;
+  std::map<Addr, Mshr> mshrs_;
+  // Replica (copy) requests are tracked in the LD/ST unit's own
+  // buffer (Section IV-C allocates dedicated 128B storage for loads
+  // awaiting comparison), NOT in the L1 MSHR table — copy traffic
+  // must not starve primary misses of MSHRs.
+  std::map<Addr, Mshr> replica_mshrs_;
+  static constexpr std::size_t kReplicaMshrCap = 64;
+
+  // (ready_cycle, warp_slot) completions for L1 hits.
+  using TimedSlot = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<TimedSlot, std::vector<TimedSlot>,
+                      std::greater<TimedSlot>>
+      hit_completions_;
+
+  // Lazy-compare bookkeeping.
+  std::uint32_t compare_in_use_ = 0;
+  std::uint64_t comparator_free_ = 0;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<std::uint64_t>>
+      compare_done_;
+
+  std::uint32_t rr_cursor_ = 0;
+  std::int32_t greedy_ = -1;  // GTO: warp holding issue priority
+  std::uint64_t next_age_ = 0;
+  std::uint64_t next_req_id_ = 1;
+};
+
+}  // namespace dcrm::sim

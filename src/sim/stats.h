@@ -1,0 +1,74 @@
+// Aggregate counters produced by a timing-simulation run.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dcrm::sim {
+
+struct GpuStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t warp_insts_issued = 0;
+  std::uint64_t mem_insts = 0;
+  std::uint64_t transactions = 0;          // primary L1 transactions
+  std::uint64_t replica_transactions = 0;  // extra accesses from replication
+
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_hits = 0;
+  // Accesses merged into an outstanding miss (MSHR "pending hits"):
+  // they missed but generate no new L2 traffic.
+  std::uint64_t l1_pending_hits = 0;
+  std::uint64_t l1_misses = 0;
+
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t replica_l2_hits = 0;
+  std::uint64_t replica_l2_misses = 0;
+
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_row_hits = 0;
+
+  std::uint64_t mshr_stalls = 0;
+  std::uint64_t compare_queue_stalls = 0;
+  std::uint64_t comparisons = 0;
+
+  // Per 128B-block L1 miss counts (only filled when
+  // GpuConfig::collect_block_misses is set). Keyed by block index.
+  std::unordered_map<std::uint64_t, std::uint64_t> block_misses;
+
+  // The paper's Fig. 7 second metric: accesses that missed in L1 and
+  // therefore went to L2/DRAM, including the duplicated/triplicated
+  // copies.
+  std::uint64_t L1MissedAccesses() const {
+    return l1_misses + replica_transactions;
+  }
+
+  GpuStats& operator+=(const GpuStats& o) {
+    cycles += o.cycles;
+    warp_insts_issued += o.warp_insts_issued;
+    mem_insts += o.mem_insts;
+    transactions += o.transactions;
+    replica_transactions += o.replica_transactions;
+    l1_accesses += o.l1_accesses;
+    l1_hits += o.l1_hits;
+    l1_pending_hits += o.l1_pending_hits;
+    l1_misses += o.l1_misses;
+    l2_accesses += o.l2_accesses;
+    l2_hits += o.l2_hits;
+    l2_misses += o.l2_misses;
+    replica_l2_hits += o.replica_l2_hits;
+    replica_l2_misses += o.replica_l2_misses;
+    dram_reads += o.dram_reads;
+    dram_writes += o.dram_writes;
+    dram_row_hits += o.dram_row_hits;
+    for (const auto& [b, n] : o.block_misses) block_misses[b] += n;
+    mshr_stalls += o.mshr_stalls;
+    compare_queue_stalls += o.compare_queue_stalls;
+    comparisons += o.comparisons;
+    return *this;
+  }
+};
+
+}  // namespace dcrm::sim

@@ -1,0 +1,76 @@
+#include "sim/tag_array.h"
+
+#include <stdexcept>
+
+namespace dcrm::sim {
+
+TagArray::TagArray(std::uint32_t sets, std::uint32_t ways)
+    : sets_(sets), ways_(ways), lines_(sets * ways) {
+  if (sets == 0 || ways == 0) {
+    throw std::invalid_argument("tag array needs sets > 0 and ways > 0");
+  }
+  if ((sets & (sets - 1)) != 0) {
+    throw std::invalid_argument("tag array set count must be a power of two");
+  }
+}
+
+std::uint32_t TagArray::SetIndex(Addr block) const {
+  return static_cast<std::uint32_t>((block / kBlockSize) & (sets_ - 1));
+}
+
+TagArray::Line* TagArray::Find(Addr block) {
+  const std::uint32_t s = SetIndex(block);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[s * ways_ + w];
+    if (line.valid && line.block == block) return &line;
+  }
+  return nullptr;
+}
+
+const TagArray::Line* TagArray::Find(Addr block) const {
+  return const_cast<TagArray*>(this)->Find(block);
+}
+
+bool TagArray::Access(Addr block, bool allocate) {
+  ++tick_;
+  if (Line* line = Find(block)) {
+    line->lru = tick_;
+    return true;
+  }
+  if (allocate) Fill(block);
+  return false;
+}
+
+bool TagArray::Contains(Addr block) const { return Find(block) != nullptr; }
+
+void TagArray::Fill(Addr block) {
+  ++tick_;
+  if (Line* line = Find(block)) {
+    line->lru = tick_;
+    return;
+  }
+  const std::uint32_t s = SetIndex(block);
+  Line* victim = &lines_[s * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = lines_[s * ways_ + w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  victim->block = block;
+  victim->valid = true;
+  victim->lru = tick_;
+}
+
+void TagArray::Invalidate(Addr block) {
+  if (Line* line = Find(block)) line->valid = false;
+}
+
+void TagArray::Reset() {
+  for (auto& l : lines_) l.valid = false;
+  tick_ = 0;
+}
+
+}  // namespace dcrm::sim

@@ -1,0 +1,51 @@
+// Set-associative LRU tag array, shared by the L1/L2 timing models and
+// the functional L1 used for miss-profile generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dcrm::sim {
+
+class TagArray {
+ public:
+  TagArray(std::uint32_t sets, std::uint32_t ways);
+
+  // Looks up `block` (a 128B-aligned address or block index — any
+  // consistent key). On hit, refreshes LRU. On miss with
+  // `allocate=true`, fills the block, evicting the LRU way.
+  // Returns true on hit.
+  bool Access(Addr block, bool allocate = true);
+
+  // Probe without changing state.
+  bool Contains(Addr block) const;
+
+  // Fill without an access (used for response-time fills).
+  void Fill(Addr block);
+
+  void Invalidate(Addr block);
+  void Reset();
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  struct Line {
+    Addr block = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;
+  };
+
+  std::uint32_t SetIndex(Addr block) const;
+  Line* Find(Addr block);
+  const Line* Find(Addr block) const;
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+};
+
+}  // namespace dcrm::sim

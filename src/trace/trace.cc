@@ -1,0 +1,43 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace dcrm::trace {
+
+std::uint64_t KernelTrace::TotalMemInsts() const {
+  std::uint64_t n = 0;
+  for (const auto& w : warps) n += w.insts.size();
+  return n;
+}
+
+std::uint64_t KernelTrace::TotalTransactions() const {
+  std::uint64_t n = 0;
+  for (const auto& w : warps) {
+    for (const auto& i : w.insts) n += i.blocks.size();
+  }
+  return n;
+}
+
+std::vector<WarpMemInst> CoalesceStep(
+    const std::vector<exec::AccessRecord>& lane_records) {
+  std::vector<WarpMemInst> out;
+  for (const auto& rec : lane_records) {
+    // Find the instruction group for this record's (pc, type).
+    auto it = std::find_if(out.begin(), out.end(), [&](const WarpMemInst& m) {
+      return m.pc == rec.pc && m.type == rec.type;
+    });
+    if (it == out.end()) {
+      out.push_back(WarpMemInst{rec.pc, rec.type, 0, {}});
+      it = std::prev(out.end());
+    }
+    ++it->active_lanes;
+    const Addr block = BlockBase(rec.addr);
+    if (std::find(it->blocks.begin(), it->blocks.end(), block) ==
+        it->blocks.end()) {
+      it->blocks.push_back(block);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcrm::trace

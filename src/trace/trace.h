@@ -1,0 +1,49 @@
+// Warp-level memory traces: the interface between the functional
+// execution layer and the cycle-level timing simulator.
+//
+// Threads of a warp execute in lockstep, so the i-th global-memory
+// access of each lane belongs to the same warp-level memory
+// instruction. The coalescer merges the 32 lane addresses of one
+// instruction into unique 128B-block transactions, exactly the unit
+// the L1 sees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/kernel.h"
+
+namespace dcrm::trace {
+
+// One warp-level memory instruction after coalescing.
+struct WarpMemInst {
+  Pc pc = 0;
+  AccessType type = AccessType::kLoad;
+  std::uint32_t active_lanes = 0;
+  // Unique 128B-aligned transaction addresses (1..32 entries).
+  std::vector<Addr> blocks;
+};
+
+struct WarpTrace {
+  WarpId warp = 0;
+  std::uint32_t cta = 0;
+  std::vector<WarpMemInst> insts;
+};
+
+struct KernelTrace {
+  exec::LaunchConfig cfg;
+  std::vector<WarpTrace> warps;  // sorted by warp id
+
+  std::uint64_t TotalMemInsts() const;
+  std::uint64_t TotalTransactions() const;
+};
+
+// Coalesces one ordinal's worth of lane records (same warp, same
+// lockstep step) into warp-level instructions. Lane records with
+// different PCs at the same ordinal (divergence) produce separate
+// instructions. Exposed for unit testing.
+std::vector<WarpMemInst> CoalesceStep(
+    const std::vector<exec::AccessRecord>& lane_records);
+
+}  // namespace dcrm::trace

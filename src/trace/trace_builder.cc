@@ -1,0 +1,43 @@
+#include "trace/trace_builder.h"
+
+#include <algorithm>
+
+namespace dcrm::trace {
+
+void TraceBuilder::OnAccess(const exec::ThreadCoord& who,
+                            const exec::AccessRecord& what) {
+  auto& ws = lanes_[who.warp_global];
+  ws.cta = who.cta_linear;
+  ws.lane[who.lane].push_back(what);
+}
+
+KernelTrace TraceBuilder::Build(const exec::LaunchConfig& cfg) const {
+  KernelTrace kt;
+  kt.cfg = cfg;
+  kt.warps.reserve(lanes_.size());
+  for (const auto& [warp_id, ws] : lanes_) {
+    WarpTrace wt;
+    wt.warp = warp_id;
+    wt.cta = ws.cta;
+    std::size_t max_len = 0;
+    for (const auto& lane : ws.lane) max_len = std::max(max_len, lane.size());
+    std::vector<exec::AccessRecord> step;
+    for (std::size_t k = 0; k < max_len; ++k) {
+      step.clear();
+      for (const auto& lane : ws.lane) {
+        if (k < lane.size()) step.push_back(lane[k]);
+      }
+      auto insts = CoalesceStep(step);
+      wt.insts.insert(wt.insts.end(), std::make_move_iterator(insts.begin()),
+                      std::make_move_iterator(insts.end()));
+    }
+    kt.warps.push_back(std::move(wt));
+  }
+  std::sort(kt.warps.begin(), kt.warps.end(),
+            [](const WarpTrace& a, const WarpTrace& b) {
+              return a.warp < b.warp;
+            });
+  return kt;
+}
+
+}  // namespace dcrm::trace

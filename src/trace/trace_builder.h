@@ -1,0 +1,33 @@
+// AccessSink that records per-lane access streams during functional
+// execution and coalesces them into a KernelTrace afterwards.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace dcrm::trace {
+
+class TraceBuilder final : public exec::AccessSink {
+ public:
+  void OnAccess(const exec::ThreadCoord& who,
+                const exec::AccessRecord& what) override;
+
+  // Coalesces everything recorded so far into a trace for the given
+  // launch configuration. Leaves the recorded streams intact.
+  KernelTrace Build(const exec::LaunchConfig& cfg) const;
+
+  void Clear() { lanes_.clear(); }
+
+ private:
+  struct WarpStreams {
+    std::uint32_t cta = 0;
+    std::array<std::vector<exec::AccessRecord>, kWarpSize> lane;
+  };
+  std::unordered_map<WarpId, WarpStreams> lanes_;
+};
+
+}  // namespace dcrm::trace

@@ -1,0 +1,263 @@
+// Golden-reference and mathematical-property tests for the
+// applications: each kernel is checked against an independent CPU
+// implementation or an algebraic identity of its output.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/blackscholes.h"
+#include "apps/gesummv.h"
+#include "apps/gramschmidt.h"
+#include "apps/image_filters.h"
+#include "apps/mvt.h"
+#include "apps/nn.h"
+#include "apps/srad.h"
+#include "exec/launcher.h"
+
+namespace dcrm::apps {
+namespace {
+
+std::vector<float> ReadArray(const mem::DeviceMemory& dev,
+                             const std::string& name) {
+  const auto& obj = dev.space().Object(*dev.space().FindByName(name));
+  std::vector<float> out(obj.size_bytes / 4);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = dev.ReadGoldenTyped<float>(obj.base + i * 4);
+  }
+  return out;
+}
+
+template <typename AppT>
+mem::DeviceMemory RunApp(AppT& app) {
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  return dev;
+}
+
+TEST(GesummvReference, MatchesCpu) {
+  GesummvApp app(40);
+  auto dev = RunApp(app);
+  const auto a = ReadArray(dev, "A");
+  const auto b = ReadArray(dev, "B");
+  const auto x = ReadArray(dev, "x");
+  const auto y = ReadArray(dev, "y");
+  for (std::size_t i = 0; i < 40; ++i) {
+    float tmp = 0, acc = 0;
+    for (std::size_t j = 0; j < 40; ++j) {
+      tmp += a[i * 40 + j] * x[j];
+      acc += b[i * 40 + j] * x[j];
+    }
+    EXPECT_FLOAT_EQ(y[i], 0.75f * tmp + 0.25f * acc) << i;
+  }
+}
+
+TEST(MvtReference, MatchesCpu) {
+  MvtApp app(36);
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  // Capture the inputs *before* the kernels update x1/x2 in place.
+  const auto a = ReadArray(dev, "a");
+  const auto y1 = ReadArray(dev, "y1");
+  const auto y2 = ReadArray(dev, "y2");
+  const auto x1_in = ReadArray(dev, "x1");
+  const auto x2_in = ReadArray(dev, "x2");
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  const auto x1 = ReadArray(dev, "x1");
+  const auto x2 = ReadArray(dev, "x2");
+  for (std::size_t i = 0; i < 36; ++i) {
+    float acc1 = x1_in[i];
+    float acc2 = x2_in[i];
+    for (std::size_t j = 0; j < 36; ++j) {
+      acc1 += a[i * 36 + j] * y1[j];
+      acc2 += a[j * 36 + i] * y2[j];
+    }
+    EXPECT_FLOAT_EQ(x1[i], acc1) << i;
+    EXPECT_FLOAT_EQ(x2[i], acc2) << i;
+  }
+}
+
+TEST(MeanfilterReference, InteriorPixelIsNeighborhoodMean) {
+  MeanfilterApp app(32, 32);
+  auto dev = RunApp(app);
+  const auto img = ReadArray(dev, "Image");
+  const auto out = ReadArray(dev, "OutImage");
+  for (int y = 1; y < 31; y += 7) {
+    for (int x = 1; x < 31; x += 5) {
+      float acc = 0;
+      for (int ky = -1; ky <= 1; ++ky) {
+        for (int kx = -1; kx <= 1; ++kx) {
+          acc += img[(y + ky) * 32 + (x + kx)];
+        }
+      }
+      EXPECT_NEAR(out[y * 32 + x], acc / 9.0f, 1e-4) << x << "," << y;
+    }
+  }
+}
+
+TEST(LaplacianReference, FlatRegionGivesZero) {
+  // A Laplacian over a constant image is exactly zero (the kernel
+  // sums to 0) — border clamping included.
+  LaplacianApp app(16, 16);
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  const auto& img = dev.space().Object(*dev.space().FindByName("Image"));
+  for (std::size_t i = 0; i < 256; ++i) {
+    dev.Write<float>(img.base + i * 4, 100.0f);
+  }
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  for (const float v : ReadArray(dev, "OutImage")) {
+    EXPECT_NEAR(v, 0.0f, 1e-3);
+  }
+}
+
+TEST(SobelReference, VerticalEdgeDetected) {
+  SobelApp app(16, 16);
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  const auto& img = dev.space().Object(*dev.space().FindByName("Image"));
+  // Left half dark, right half bright.
+  for (std::uint32_t y = 0; y < 16; ++y) {
+    for (std::uint32_t x = 0; x < 16; ++x) {
+      dev.Write<float>(img.base + (y * 16 + x) * 4, x < 8 ? 0.0f : 200.0f);
+    }
+  }
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  const auto out = ReadArray(dev, "OutImage");
+  // Strong response along the edge columns, none in flat regions.
+  EXPECT_GT(out[5 * 16 + 7], 100.0f);
+  EXPECT_GT(out[5 * 16 + 8], 100.0f);
+  EXPECT_NEAR(out[5 * 16 + 2], 0.0f, 1e-3);
+  EXPECT_NEAR(out[5 * 16 + 13], 0.0f, 1e-3);
+}
+
+TEST(BlackScholesReference, PutCallParity) {
+  // C - P = S - X * exp(-rT) must hold for every option.
+  BlackScholesApp app(512);
+  auto dev = RunApp(app);
+  const auto s = ReadArray(dev, "StockPrice");
+  const auto x = ReadArray(dev, "OptionStrike");
+  const auto t = ReadArray(dev, "OptionYears");
+  const auto call = ReadArray(dev, "CallResult");
+  const auto put = ReadArray(dev, "PutResult");
+  for (std::size_t i = 0; i < 512; ++i) {
+    const float parity = s[i] - x[i] * std::exp(-0.02f * t[i]);
+    EXPECT_NEAR(call[i] - put[i], parity, 1e-2) << i;
+  }
+}
+
+TEST(BlackScholesReference, PricesWithinNoArbitrageBounds) {
+  BlackScholesApp app(512);
+  auto dev = RunApp(app);
+  const auto s = ReadArray(dev, "StockPrice");
+  const auto call = ReadArray(dev, "CallResult");
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_GE(call[i], -1e-4);
+    EXPECT_LE(call[i], s[i] + 1e-4);  // a call never exceeds the stock
+  }
+}
+
+TEST(GramSchmidtReference, ColumnsOrthonormal) {
+  GramSchmidtApp app(64, 12);
+  auto dev = RunApp(app);
+  const auto q = ReadArray(dev, "Q");
+  for (std::uint32_t c1 = 0; c1 < 12; ++c1) {
+    for (std::uint32_t c2 = c1; c2 < 12; ++c2) {
+      double dot = 0;
+      for (std::uint32_t r = 0; r < 64; ++r) {
+        dot += static_cast<double>(q[c1 * 64 + r]) * q[c2 * 64 + r];
+      }
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-3) << c1 << "," << c2;
+    }
+  }
+}
+
+TEST(GramSchmidtReference, QrReconstructsA) {
+  GramSchmidtApp app(48, 8);
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  const auto a_in = ReadArray(dev, "A");
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  const auto q = ReadArray(dev, "Q");
+  const auto r = ReadArray(dev, "R");
+  // A = Q * R (column-major columns; R upper triangular).
+  for (std::uint32_t col = 0; col < 8; ++col) {
+    for (std::uint32_t row = 0; row < 48; ++row) {
+      double acc = 0;
+      for (std::uint32_t k = 0; k <= col; ++k) {
+        acc += static_cast<double>(q[k * 48 + row]) * r[k * 8 + col];
+      }
+      EXPECT_NEAR(acc, a_in[col * 48 + row], 1e-3) << col << "," << row;
+    }
+  }
+}
+
+TEST(SradReference, UniformImageIsFixedPoint) {
+  // On a constant image all derivatives vanish, so one SRAD iteration
+  // must return the image unchanged.
+  SradApp app(24, 24);
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  const auto& img = dev.space().Object(*dev.space().FindByName("Image"));
+  for (std::size_t i = 0; i < 24 * 24; ++i) {
+    dev.Write<float>(img.base + i * 4, 0.5f);
+  }
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  for (const float v : ReadArray(dev, "J_out")) {
+    EXPECT_NEAR(v, 0.5f, 1e-4);
+  }
+}
+
+TEST(SradReference, SmoothsSpeckleNoise) {
+  // Total variation of the output must not exceed the input's: SRAD
+  // is a diffusion step.
+  SradApp app(32, 32);
+  mem::DeviceMemory dev;
+  app.Setup(dev);
+  const auto before = ReadArray(dev, "Image");
+  exec::DirectDataPlane plane(dev);
+  RunKernels(app, plane, nullptr);
+  const auto after = ReadArray(dev, "J_out");
+  auto variation = [](const std::vector<float>& v) {
+    double tv = 0;
+    for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+      tv += std::fabs(static_cast<double>(v[i + 1]) - v[i]);
+    }
+    return tv;
+  };
+  EXPECT_LT(variation(after), variation(before));
+}
+
+TEST(NnReference, ScoresAreFiniteAndImageDependent) {
+  NnApp app(4, 6, 16, 10);
+  auto dev = RunApp(app);
+  const auto scores = ReadArray(dev, "Out_Scores");
+  ASSERT_EQ(scores.size(), 40u);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(std::isfinite(scores[i]));
+    any_diff = any_diff || scores[i] != scores[10 + i];
+  }
+  EXPECT_TRUE(any_diff) << "different images must score differently";
+}
+
+TEST(NnReference, SquashKeepsNeuronsBounded) {
+  NnApp app(2, 6, 16, 10);
+  auto dev = RunApp(app);
+  for (const char* layer : {"Layer2_Neurons", "Layer3_Neurons",
+                            "Layer4_Neurons"}) {
+    for (const float v : ReadArray(dev, layer)) {
+      EXPECT_LE(std::fabs(v), 1.7159f + 1e-4) << layer;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcrm::apps

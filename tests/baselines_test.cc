@@ -1,0 +1,91 @@
+// Tests for the related-work baseline models (RMT trace transform and
+// recovery-time formulas).
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+
+namespace dcrm::core {
+namespace {
+
+trace::KernelTrace SmallTrace() {
+  trace::KernelTrace kt;
+  kt.cfg.grid = {2, 1, 1};
+  kt.cfg.block = {64, 1, 1};  // 2 warps per CTA
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      trace::WarpTrace wt;
+      wt.cta = c;
+      wt.warp = c * 2 + w;
+      wt.insts.push_back({1, AccessType::kLoad, 32, {0}});
+      wt.insts.push_back({2, AccessType::kStore, 32, {kBlockSize}});
+      kt.warps.push_back(wt);
+    }
+  }
+  return kt;
+}
+
+TEST(RmtTrace, DoublesWarpsAndDropsShadowStores) {
+  const auto in = SmallTrace();
+  const auto out = MakeRmtTrace(in);
+  EXPECT_EQ(out.warps.size(), in.warps.size() * 2);
+  EXPECT_EQ(out.cfg.block.x, in.cfg.block.x * 2);
+  // Loads double; stores stay (shadow copies only verify).
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  for (const auto& w : out.warps) {
+    for (const auto& i : w.insts) {
+      (i.type == AccessType::kLoad ? loads : stores) += 1;
+    }
+  }
+  EXPECT_EQ(loads, 8u);
+  EXPECT_EQ(stores, 4u);
+}
+
+TEST(RmtTrace, WarpIdsStayUniqueAndCtaLocal) {
+  const auto out = MakeRmtTrace(SmallTrace());
+  std::set<WarpId> ids;
+  const std::uint32_t wpc = out.cfg.WarpsPerCta();
+  for (const auto& w : out.warps) {
+    EXPECT_TRUE(ids.insert(w.warp).second) << "duplicate warp id";
+    EXPECT_EQ(w.warp / wpc, w.cta);
+  }
+}
+
+TEST(RecoveryModel, DetectRerunGeometricRetry) {
+  EXPECT_DOUBLE_EQ(RecoveryModel::DetectRerun(0.0, 0.012), 1.012);
+  EXPECT_NEAR(RecoveryModel::DetectRerun(0.5, 0.0), 2.0, 1e-12);
+  EXPECT_GT(RecoveryModel::DetectRerun(0.1, 0.012),
+            RecoveryModel::DetectRerun(0.0, 0.012));
+  EXPECT_THROW(RecoveryModel::DetectRerun(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(RecoveryModel, CorrectIsFlatInFaultRate) {
+  EXPECT_DOUBLE_EQ(RecoveryModel::Correct(0.034), 1.034);
+}
+
+TEST(RecoveryModel, CheckpointPaysEvenWithoutFaults) {
+  const double t = RecoveryModel::CheckpointRestart(0.0, 0.25, 0.05, 0.05);
+  EXPECT_NEAR(t, 1.2, 1e-12);  // 4 checkpoints of 5% each
+  EXPECT_THROW(RecoveryModel::CheckpointRestart(0.1, 0.0, 0.05, 0.05),
+               std::invalid_argument);
+}
+
+TEST(RecoveryModel, CheckpointCostScalesWithFootprint) {
+  const double small = RecoveryModel::CheckpointCost(1 << 20, 16.0, 1000000);
+  const double large = RecoveryModel::CheckpointCost(1 << 24, 16.0, 1000000);
+  EXPECT_NEAR(large / small, 16.0, 1e-9);
+  EXPECT_THROW(RecoveryModel::CheckpointCost(1, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(RecoveryModel, CorrectionDominatesAtSmallOverheads) {
+  // The paper's headline comparison with realistic numbers: 3.4%
+  // correction beats both rerun-on-detect at high fault rates and
+  // checkpointing with a 10% footprint tax.
+  const double corr = RecoveryModel::Correct(0.034);
+  EXPECT_LT(corr, RecoveryModel::DetectRerun(0.1, 0.012));
+  EXPECT_LT(corr, RecoveryModel::CheckpointRestart(0.1, 0.25, 0.1, 0.1));
+}
+
+}  // namespace
+}  // namespace dcrm::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace dcrm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(19);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(Variance(xs), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, ZQuantileMatchesKnownValues) {
+  EXPECT_NEAR(ZQuantile(0.95), 1.95996, 1e-4);
+  EXPECT_NEAR(ZQuantile(0.99), 2.57583, 1e-4);
+  EXPECT_NEAR(ZQuantile(0.90), 1.64485, 1e-4);
+}
+
+TEST(Stats, RunsForMarginMatchesPaperPractice) {
+  // The paper's cited statistical model: 95% confidence, +/-3% needs
+  // about a thousand runs.
+  const std::size_t n = RunsForMargin(0.03, 0.95);
+  EXPECT_GE(n, 1000u);
+  EXPECT_LE(n, 1100u);
+}
+
+TEST(Stats, BinomialCiShrinksWithRuns) {
+  const auto small = BinomialCi(50, 100);
+  const auto large = BinomialCi(500, 1000);
+  EXPECT_NEAR(small.p, 0.5, 1e-12);
+  EXPECT_GT(small.margin, large.margin);
+  EXPECT_GE(small.lo, 0.0);
+  EXPECT_LE(small.hi, 1.0);
+}
+
+TEST(Stats, BinomialCiZeroTrials) {
+  const auto ci = BinomialCi(0, 0);
+  EXPECT_EQ(ci.p, 0.0);
+  EXPECT_EQ(ci.margin, 0.0);
+}
+
+TEST(Bitops, SetClearFlipTest) {
+  std::uint64_t v = 0;
+  v = SetBit(v, 5);
+  EXPECT_TRUE(TestBit(v, 5));
+  v = FlipBit(v, 5);
+  EXPECT_FALSE(TestBit(v, 5));
+  v = SetBit(v, 63);
+  EXPECT_TRUE(TestBit(v, 63));
+  v = ClearBit(v, 63);
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(Bitops, Parity) {
+  EXPECT_EQ(Parity(0), 0u);
+  EXPECT_EQ(Parity(1), 1u);
+  EXPECT_EQ(Parity(0b1011), 1u);
+  EXPECT_EQ(Parity(0b1111), 0u);
+}
+
+TEST(Types, BlockArithmetic) {
+  EXPECT_EQ(BlockOf(0), 0u);
+  EXPECT_EQ(BlockOf(127), 0u);
+  EXPECT_EQ(BlockOf(128), 1u);
+  EXPECT_EQ(BlockBase(200), 128u);
+  EXPECT_EQ(Dim3({2, 3, 4}).Count(), 24u);
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  TextTable t({"app", "value"});
+  t.NewRow().Add("P-BICG").Add(1.25, 2);
+  t.NewRow().Add("C-NN").Add(std::uint64_t{42});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("P-BICG"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  const std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("app,value"), std::string::npos);
+  EXPECT_NE(csv.find("C-NN,42"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(Table, FormatNumTrimsZeros) {
+  EXPECT_EQ(FormatNum(1.5, 3), "1.5");
+  EXPECT_EQ(FormatNum(2.0, 3), "2");
+  EXPECT_EQ(FormatNum(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace dcrm

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sim/config_io.h"
+
+namespace dcrm::sim {
+namespace {
+
+TEST(ConfigIo, ParsesKeysOnTopOfBase) {
+  const auto cfg = ParseGpuConfigString(
+      "# comment\n"
+      "num_sms = 30\n"
+      "l1_size_bytes=32768   # inline comment\n"
+      "sched_policy = lrr\n");
+  EXPECT_EQ(cfg.num_sms, 30u);
+  EXPECT_EQ(cfg.l1_size_bytes, 32768u);
+  EXPECT_EQ(cfg.sched_policy, SchedPolicy::kLrr);
+  // Unspecified keys keep defaults.
+  EXPECT_EQ(cfg.num_partitions, GpuConfig{}.num_partitions);
+}
+
+TEST(ConfigIo, UnknownKeyNamesTheLine) {
+  try {
+    ParseGpuConfigString("num_sms = 15\nbogus_key = 3\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, MalformedValueThrows) {
+  EXPECT_THROW(ParseGpuConfigString("num_sms = fifteen\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseGpuConfigString("num_sms = 15x\n"), std::runtime_error);
+  EXPECT_THROW(ParseGpuConfigString("sched_policy = banana\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseGpuConfigString("just a line\n"), std::runtime_error);
+}
+
+TEST(ConfigIo, DumpRoundTrips) {
+  GpuConfig cfg;
+  cfg.num_sms = 80;
+  cfg.sched_policy = SchedPolicy::kLrr;
+  cfg.l2_size_bytes = 512 * 1024;
+  cfg.collect_block_misses = true;
+  const auto loaded = ParseGpuConfigString(DumpGpuConfig(cfg));
+  EXPECT_EQ(loaded.num_sms, 80u);
+  EXPECT_EQ(loaded.sched_policy, SchedPolicy::kLrr);
+  EXPECT_EQ(loaded.l2_size_bytes, 512u * 1024);
+  EXPECT_TRUE(loaded.collect_block_misses);
+  EXPECT_EQ(loaded.t_cl, cfg.t_cl);
+}
+
+TEST(ConfigIo, EmptyInputYieldsBase) {
+  GpuConfig base;
+  base.num_sms = 99;
+  const auto cfg = ParseGpuConfigString("", base);
+  EXPECT_EQ(cfg.num_sms, 99u);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(LoadGpuConfigFile("/no/such/file.cfg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcrm::sim

@@ -1,0 +1,116 @@
+// Tests for the profiling driver and protection-setup plumbing that
+// the benches and campaigns build on.
+#include <gtest/gtest.h>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+
+namespace dcrm::apps {
+namespace {
+
+sim::GpuConfig Cfg() { return sim::GpuConfig{}; }
+
+TEST(Driver, ProfileIsDeterministic) {
+  auto a1 = MakeApp("P-BICG", AppScale::kTiny);
+  auto a2 = MakeApp("P-BICG", AppScale::kTiny);
+  const auto p1 = ProfileApp(*a1, Cfg());
+  const auto p2 = ProfileApp(*a2, Cfg());
+  EXPECT_EQ(p1.profiler.TotalReads(), p2.profiler.TotalReads());
+  EXPECT_EQ(p1.golden, p2.golden);
+  ASSERT_EQ(p1.hot.hot_objects.size(), p2.hot.hot_objects.size());
+  for (std::size_t i = 0; i < p1.hot.hot_objects.size(); ++i) {
+    EXPECT_EQ(p1.hot.hot_objects[i].name, p2.hot.hot_objects[i].name);
+  }
+}
+
+TEST(Driver, MissProfileAttachedToBlocks) {
+  auto app = MakeApp("P-GESUMMV", AppScale::kTiny);
+  const auto profile = ProfileApp(*app, Cfg());
+  std::uint64_t total_misses = 0;
+  for (const auto& [block, bp] : profile.profiler.blocks()) {
+    total_misses += bp.l1_misses;
+  }
+  EXPECT_GT(total_misses, 0u);
+  // Misses can't exceed thread-level reads+writes... they can't even
+  // exceed the coalesced transaction count; bound loosely by accesses.
+  EXPECT_LT(total_misses, profile.profiler.TotalAccesses());
+}
+
+TEST(Driver, ProtectionSetupBuildsRangesForCoveredObjects) {
+  auto app = MakeApp("P-BICG", AppScale::kTiny);
+  const auto profile = ProfileApp(*app, Cfg());
+  const auto setup = MakeProtectionSetup(*app, profile,
+                                         sim::Scheme::kDetectOnly, 2);
+  ASSERT_EQ(setup.plan.ranges.size(), 2u);
+  EXPECT_EQ(setup.plan.scheme, sim::Scheme::kDetectOnly);
+  // Ranges must be the first two coverage-order objects, with replicas
+  // outside the primary range.
+  for (unsigned i = 0; i < 2; ++i) {
+    const auto& op = profile.hot.coverage_order[i];
+    const auto& obj = setup.dev->space().Object(op.id);
+    const auto& range = setup.plan.ranges[i];
+    EXPECT_EQ(range.base, obj.base);
+    EXPECT_EQ(range.size, obj.size_bytes);
+    EXPECT_FALSE(range.Contains(range.replica_base[0]));
+  }
+}
+
+TEST(Driver, ZeroCoverMeansNoPlan) {
+  auto app = MakeApp("P-MVT", AppScale::kTiny);
+  const auto profile = ProfileApp(*app, Cfg());
+  const auto setup = MakeProtectionSetup(*app, profile,
+                                         sim::Scheme::kDetectCorrect, 0);
+  EXPECT_EQ(setup.plan.scheme, sim::Scheme::kNone);
+  EXPECT_TRUE(setup.plan.ranges.empty());
+}
+
+TEST(Driver, TimingUsesAppArithmeticIntensity) {
+  // Same traces, different modeled ALU intensity -> different cycles.
+  auto app = MakeApp("A-Meanfilter", AppScale::kTiny);
+  const auto profile = ProfileApp(*app, Cfg());
+  sim::GpuConfig lo = Cfg();
+  sim::Gpu gpu_lo(lo, {});
+  const auto cyc_lo = gpu_lo.Run(profile.traces).cycles;
+  sim::GpuConfig hi = Cfg();
+  hi.alu_cycles_per_mem = 400;
+  sim::Gpu gpu_hi(hi, {});
+  const auto cyc_hi = gpu_hi.Run(profile.traces).cycles;
+  EXPECT_GT(cyc_hi, cyc_lo);
+}
+
+TEST(Driver, TimingScalesWithTraceSize) {
+  auto small_app = MakeApp("A-Sobel", AppScale::kTiny);
+  const auto sp = ProfileApp(*small_app, Cfg());
+  auto big_app = MakeApp("A-Sobel", AppScale::kSmall);
+  const auto bp = ProfileApp(*big_app, Cfg());
+  const auto ss = RunTiming(*small_app, sp, Cfg(), {});
+  const auto bs = RunTiming(*big_app, bp, Cfg(), {});
+  EXPECT_GT(bs.cycles, ss.cycles);
+  EXPECT_GT(bs.mem_insts, ss.mem_insts);
+}
+
+TEST(Driver, CoverageOrderIntensityIsMonotone) {
+  for (const auto& name : AllAppNames()) {
+    auto app = MakeApp(name, AppScale::kTiny);
+    const auto profile = ProfileApp(*app, Cfg());
+    const auto& order = profile.hot.coverage_order;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      EXPECT_GE(order[i - 1].reads_per_block, order[i].reads_per_block)
+          << name << " index " << i;
+    }
+  }
+}
+
+TEST(Driver, HotObjectsAreReadOnlyAndSmall) {
+  for (const auto& name : HotPatternAppNames()) {
+    auto app = MakeApp(name, AppScale::kTiny);
+    const auto profile = ProfileApp(*app, Cfg());
+    for (const auto& op : profile.hot.hot_objects) {
+      EXPECT_TRUE(op.read_only) << name << "/" << op.name;
+    }
+    EXPECT_LE(profile.hot.hot_footprint, 0.25) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dcrm::apps

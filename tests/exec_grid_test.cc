@@ -1,0 +1,137 @@
+// Additional execution-model tests: 3D grids, CTA linearization,
+// warp formation over 2D blocks, and data-plane interactions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/protection.h"
+#include "core/replication.h"
+#include "exec/data_plane.h"
+#include "exec/launcher.h"
+
+namespace dcrm::exec {
+namespace {
+
+TEST(Launcher, ThreeDimensionalGrid) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 1024, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {2, 3, 2};
+  cfg.block = {4, 2, 2};
+  std::set<std::uint32_t> cta_ids;
+  std::uint64_t threads = 0;
+  LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    cta_ids.insert(ctx.coord().cta_linear);
+    ++threads;
+    EXPECT_LT(ctx.blockIdx().x, 2u);
+    EXPECT_LT(ctx.blockIdx().y, 3u);
+    EXPECT_LT(ctx.blockIdx().z, 2u);
+  });
+  EXPECT_EQ(cta_ids.size(), 12u);
+  EXPECT_EQ(threads, 12u * 16);
+}
+
+TEST(Launcher, TwoDimensionalBlockLinearizesRowMajor) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 1024, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {16, 4, 1};  // 64 threads = 2 warps
+  std::map<std::pair<unsigned, unsigned>, WarpId> warp_of;
+  LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    warp_of[{ctx.threadIdx().x, ctx.threadIdx().y}] =
+        ctx.coord().warp_global;
+  });
+  // Rows 0-1 form warp 0, rows 2-3 warp 1 (x fastest).
+  EXPECT_EQ((warp_of[{0, 0}]), 0u);
+  EXPECT_EQ((warp_of[{15, 1}]), 0u);
+  EXPECT_EQ((warp_of[{0, 2}]), 1u);
+  EXPECT_EQ((warp_of[{15, 3}]), 1u);
+}
+
+TEST(Launcher, CtaLinearizationOrder) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 1024, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {3, 2, 1};
+  cfg.block = {1, 1, 1};
+  std::vector<std::pair<unsigned, unsigned>> order;
+  LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    order.emplace_back(ctx.blockIdx().x, ctx.blockIdx().y);
+  });
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], (std::pair<unsigned, unsigned>{0, 0}));
+  EXPECT_EQ(order[1], (std::pair<unsigned, unsigned>{1, 0}));
+  EXPECT_EQ(order[3], (std::pair<unsigned, unsigned>{0, 1}));
+}
+
+TEST(Launcher, ExceptionAbortsRemainingThreads) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 1024, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {64, 1, 1};
+  int executed = 0;
+  EXPECT_THROW(
+      LaunchKernel(cfg, plane, nullptr,
+                   [&](ThreadCtx& ctx) {
+                     ++executed;
+                     if (ctx.coord().thread_linear == 10) {
+                       throw std::runtime_error("boom");
+                     }
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(executed, 11);  // threads after the throwing one never ran
+}
+
+TEST(ProtectedPlane, TerminationPropagatesThroughLauncher) {
+  mem::DeviceMemory dev;
+  const auto id = dev.space().Allocate("w", 64, true);
+  dev.Write<float>(0, 1.0f);
+  const auto infos =
+      core::ReplicateObjects(dev, std::vector<mem::ObjectId>{id}, 1);
+  auto plan =
+      core::MakeProtectionPlan(dev.space(), infos, sim::Scheme::kDetectOnly);
+  dev.faults().Add({.byte_addr = 1, .bit = 4, .stuck_value = true});
+  core::ProtectedDataPlane plane(dev, plan);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg, plane, nullptr,
+                            [&](ThreadCtx& ctx) {
+                              (void)ctx.Ld<float>(1, 0);
+                            }),
+               core::DetectionTerminated);
+}
+
+TEST(ProtectedPlane, StoreToProtectedRangeStillWrites) {
+  // The schemes only cover read-only objects, but the plane's store
+  // path must stay a plain write (used by unprotected objects).
+  mem::DeviceMemory dev;
+  const auto id = dev.space().Allocate("w", 64, true);
+  dev.space().Allocate("out", 64, false);
+  const auto infos =
+      core::ReplicateObjects(dev, std::vector<mem::ObjectId>{id}, 1);
+  auto plan =
+      core::MakeProtectionPlan(dev.space(), infos, sim::Scheme::kDetectOnly);
+  core::ProtectedDataPlane plane(dev, plan);
+  const float v = 9.0f;
+  plane.Store(5, 128, &v, 4);
+  EXPECT_FLOAT_EQ(dev.ReadGoldenTyped<float>(128), 9.0f);
+}
+
+TEST(DirectPlane, OutOfRangeStoreThrows) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 64, false);
+  DirectDataPlane plane(dev);
+  float v = 1.0f;
+  EXPECT_THROW(plane.Store(1, 1 << 20, &v, 4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dcrm::exec

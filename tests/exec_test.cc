@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "exec/data_plane.h"
+#include "exec/kernel.h"
+#include "exec/launcher.h"
+
+namespace dcrm::exec {
+namespace {
+
+class RecordingSink final : public AccessSink {
+ public:
+  struct Entry {
+    ThreadCoord who;
+    AccessRecord what;
+  };
+  std::vector<Entry> entries;
+  void OnAccess(const ThreadCoord& who, const AccessRecord& what) override {
+    entries.push_back({who, what});
+  }
+};
+
+TEST(Launcher, VisitsEveryThreadOnce) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 4096, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {2, 2, 1};
+  cfg.block = {8, 4, 1};
+  std::set<std::tuple<unsigned, unsigned, unsigned, unsigned>> seen;
+  const auto stats = LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    seen.insert({ctx.blockIdx().x, ctx.blockIdx().y, ctx.threadIdx().x,
+                 ctx.threadIdx().y});
+  });
+  EXPECT_EQ(stats.threads, 2u * 2 * 8 * 4);
+  EXPECT_EQ(stats.ctas, 4u);
+  EXPECT_EQ(seen.size(), stats.threads);
+}
+
+TEST(Launcher, WarpAndLaneAssignment) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 4096, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {2, 1, 1};
+  cfg.block = {64, 1, 1};  // 2 warps per CTA
+  EXPECT_EQ(cfg.WarpsPerCta(), 2u);
+  EXPECT_EQ(cfg.TotalWarps(), 4u);
+  std::vector<WarpId> warp_of_thread;
+  std::vector<std::uint8_t> lane_of_thread;
+  LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    warp_of_thread.push_back(ctx.coord().warp_global);
+    lane_of_thread.push_back(ctx.coord().lane);
+  });
+  ASSERT_EQ(warp_of_thread.size(), 128u);
+  EXPECT_EQ(warp_of_thread[0], 0u);
+  EXPECT_EQ(warp_of_thread[31], 0u);
+  EXPECT_EQ(warp_of_thread[32], 1u);
+  EXPECT_EQ(warp_of_thread[64], 2u);   // second CTA starts at warp 2
+  EXPECT_EQ(warp_of_thread[127], 3u);
+  EXPECT_EQ(lane_of_thread[33], 1u);
+}
+
+TEST(Launcher, PartialWarpForOddBlockSize) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 4096, false);
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {40, 1, 1};  // 1 full + 1 partial warp
+  EXPECT_EQ(cfg.WarpsPerCta(), 2u);
+  int in_warp1 = 0;
+  LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    if (ctx.coord().warp_global == 1) ++in_warp1;
+  });
+  EXPECT_EQ(in_warp1, 8);
+}
+
+TEST(ThreadCtx, LdStGoThroughPlaneAndSink) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 4096, false);
+  dev.Write<float>(16, 2.5f);
+  DirectDataPlane plane(dev);
+  RecordingSink sink;
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  LaunchKernel(cfg, plane, &sink, [&](ThreadCtx& ctx) {
+    const float v = ctx.Ld<float>(/*pc=*/7, 16);
+    ctx.St<float>(/*pc=*/8, 20, v * 2);
+  });
+  EXPECT_FLOAT_EQ(dev.Read<float>(20), 5.0f);
+  ASSERT_EQ(sink.entries.size(), 2u);
+  EXPECT_EQ(sink.entries[0].what.pc, 7u);
+  EXPECT_EQ(sink.entries[0].what.type, AccessType::kLoad);
+  EXPECT_EQ(sink.entries[1].what.pc, 8u);
+  EXPECT_EQ(sink.entries[1].what.type, AccessType::kStore);
+  EXPECT_EQ(sink.entries[1].what.addr, 20u);
+}
+
+TEST(ThreadCtx, FaultyLoadSeesStuckBits) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("buf", 128, false);
+  dev.Write<std::uint32_t>(0, 0);
+  dev.faults().Add({.byte_addr = 0, .bit = 4, .stuck_value = true});
+  DirectDataPlane plane(dev);
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  std::uint32_t loaded = 0;
+  LaunchKernel(cfg, plane, nullptr, [&](ThreadCtx& ctx) {
+    loaded = ctx.Ld<std::uint32_t>(1, 0);
+  });
+  EXPECT_EQ(loaded, 16u);
+}
+
+TEST(ArrayRef, IndexArithmetic) {
+  ArrayRef<float> arr(256);
+  EXPECT_EQ(arr.AddrOf(0), 256u);
+  EXPECT_EQ(arr.AddrOf(10), 256u + 40);
+}
+
+}  // namespace
+}  // namespace dcrm::exec

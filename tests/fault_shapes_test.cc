@@ -1,0 +1,112 @@
+// Tests for the extended fault footprints and the online hot detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/online_detector.h"
+#include "fault/fault_shapes.h"
+
+namespace dcrm {
+namespace {
+
+TEST(ColumnFaults, OneBitPerWordSamePositionAndPolarity) {
+  Rng rng(1);
+  const auto faults = fault::MakeColumnFaults(256, 256 + 128, rng);
+  EXPECT_EQ(faults.size(), 32u);  // every word of the block
+  std::set<Addr> words;
+  const auto bit0 = faults[0].bit;
+  const auto off0 = faults[0].byte_addr % 4;
+  for (const auto& f : faults) {
+    EXPECT_EQ(f.bit, bit0);
+    EXPECT_EQ(f.byte_addr % 4, off0);
+    EXPECT_EQ(f.stuck_value, faults[0].stuck_value);
+    EXPECT_TRUE(words.insert(f.byte_addr & ~Addr{3}).second);
+  }
+}
+
+TEST(ColumnFaults, RespectsPartialRange) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = fault::MakeColumnFaults(0, 36, rng);  // 9 words
+    EXPECT_LE(faults.size(), 9u);
+    EXPECT_GE(faults.size(), 8u);  // last word partial; bit may fall out
+    for (const auto& f : faults) EXPECT_LT(f.byte_addr, 36u);
+  }
+}
+
+TEST(DramRowFaults, CoversAllRowBlocksOnOneChannel) {
+  sim::AddrMap map{6, 16, 16};
+  const Addr limit = 1 << 24;  // 16MB space
+  const auto blocks = fault::BlocksInSameDramRow(0, map, limit);
+  ASSERT_EQ(blocks.size(), 16u);  // blocks_per_row
+  for (std::uint64_t b : blocks) {
+    EXPECT_EQ(map.Channel(b * kBlockSize), 0u);
+    EXPECT_EQ(map.Bank(b * kBlockSize), 0u);
+    EXPECT_EQ(map.Row(b * kBlockSize), 0u);
+  }
+  // Includes the seed block.
+  EXPECT_NE(std::find(blocks.begin(), blocks.end(), 0u), blocks.end());
+}
+
+TEST(DramRowFaults, ClampsToAddressSpace) {
+  sim::AddrMap map{6, 16, 16};
+  const Addr limit = 100 * kBlockSize;
+  const auto blocks = fault::BlocksInSameDramRow(0, map, limit);
+  for (std::uint64_t b : blocks) EXPECT_LT(b * kBlockSize, limit);
+  EXPECT_FALSE(blocks.empty());
+}
+
+TEST(DramRowFaults, FaultsShareColumnAcrossBlocks) {
+  sim::AddrMap map{6, 16, 16};
+  Rng rng(3);
+  const auto faults = fault::MakeDramRowFaults(0, map, 1 << 24, rng);
+  ASSERT_FALSE(faults.empty());
+  for (const auto& f : faults) {
+    EXPECT_EQ(f.bit, faults[0].bit);
+    EXPECT_EQ(f.stuck_value, faults[0].stuck_value);
+  }
+  // 16 blocks x 32 words each.
+  EXPECT_EQ(faults.size(), 16u * 32);
+}
+
+TEST(OnlineDetector, FindsDominantBlocks) {
+  core::OnlineHotDetector det(8);
+  Rng rng(4);
+  // Two hot blocks interleaved with a cold stream of 1000 blocks.
+  for (int round = 0; round < 2000; ++round) {
+    det.Observe(1);
+    det.Observe(2);
+    det.Observe(100 + rng.Below(1000));
+  }
+  const auto hot = det.HotBlocks(8.0);
+  EXPECT_NE(std::find(hot.begin(), hot.end(), 1u), hot.end());
+  EXPECT_NE(std::find(hot.begin(), hot.end(), 2u), hot.end());
+  EXPECT_LE(hot.size(), 4u);  // the cold stream stays out
+}
+
+TEST(OnlineDetector, UniformStreamReportsNothingHot) {
+  core::OnlineHotDetector det(16);
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint64_t b = 0; b < 64; ++b) det.Observe(b);
+  }
+  EXPECT_TRUE(det.HotBlocks(8.0).empty());
+}
+
+TEST(OnlineDetector, CountsAreUpperBounds) {
+  core::OnlineHotDetector det(4);
+  for (int i = 0; i < 100; ++i) det.Observe(7);
+  for (std::uint64_t b = 0; b < 50; ++b) det.Observe(b);
+  const auto top = det.Top();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].block, 7u);
+  EXPECT_GE(top[0].count, 100u);  // never undercounts a resident block
+  EXPECT_EQ(det.observed(), 150u);
+}
+
+TEST(OnlineDetector, ZeroCapacityThrows) {
+  EXPECT_THROW(core::OnlineHotDetector(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcrm

@@ -1,0 +1,136 @@
+// Hot-classifier behaviour on synthetic access profiles, independent
+// of the real applications.
+#include <gtest/gtest.h>
+
+#include "core/hot_classifier.h"
+#include "mem/device_memory.h"
+
+namespace dcrm::core {
+namespace {
+
+// Builds a profiler holding a synthetic profile: `hot_reads` per block
+// for the object named "hot", `cold_reads` for "cold", with the given
+// warp shares.
+struct Synth {
+  mem::DeviceMemory dev;
+  AccessProfiler prof;
+
+  Synth(std::uint64_t hot_blocks, std::uint64_t hot_reads_per_block,
+        double hot_share, std::uint64_t cold_blocks,
+        std::uint64_t cold_reads_per_block, double cold_share) {
+    const auto hot_id =
+        dev.space().Allocate("hot", hot_blocks * kBlockSize, true);
+    const auto cold_id =
+        dev.space().Allocate("cold", cold_blocks * kBlockSize, true);
+    exec::LaunchConfig cfg;
+    cfg.grid = {1, 1, 1};
+    cfg.block = {100 * kWarpSize, 1, 1};  // 100 warps
+    prof.BeginKernel(cfg);
+    auto emit = [&](mem::ObjectId id, std::uint64_t blocks,
+                    std::uint64_t reads, double share) {
+      const Addr base = dev.space().Object(id).base;
+      const auto warps = static_cast<WarpId>(share * 100);
+      for (std::uint64_t b = 0; b < blocks; ++b) {
+        for (std::uint64_t r = 0; r < reads; ++r) {
+          exec::ThreadCoord who;
+          who.warp_global = static_cast<WarpId>(r % std::max<WarpId>(1, warps));
+          prof.OnAccess(who, {1, base + b * kBlockSize, 4,
+                              AccessType::kLoad});
+        }
+      }
+    };
+    emit(hot_id, hot_blocks, hot_reads_per_block, hot_share);
+    emit(cold_id, cold_blocks, cold_reads_per_block, cold_share);
+    prof.EndKernel();
+  }
+};
+
+TEST(HotClassifier, KneeProfileClassifiesHotObject) {
+  Synth s(/*hot*/ 2, 10000, 0.8, /*cold*/ 100, 40, 0.02);
+  const auto cls = ClassifyHot(s.prof, s.dev.space());
+  EXPECT_TRUE(cls.has_hot_pattern);
+  ASSERT_EQ(cls.hot_objects.size(), 1u);
+  EXPECT_EQ(cls.hot_objects[0].name, "hot");
+  EXPECT_LT(cls.hot_footprint, 0.05);
+  EXPECT_GT(cls.hot_access_share, 0.5);
+}
+
+TEST(HotClassifier, FlatProfileHasNoHotPattern) {
+  Synth s(2, 50, 0.8, 100, 50, 0.02);
+  const auto cls = ClassifyHot(s.prof, s.dev.space());
+  EXPECT_FALSE(cls.has_hot_pattern);
+  EXPECT_TRUE(cls.hot_objects.empty());
+  // Coverage order still lists the read-only inputs.
+  EXPECT_EQ(cls.coverage_order.size(), 2u);
+}
+
+TEST(HotClassifier, LowSharingFailsTheWarpGate) {
+  // Intense but private blocks (one warp each) are not "hot" in the
+  // paper's sense: an error there cannot spread across warps.
+  Synth s(2, 10000, 0.01, 100, 40, 0.02);
+  const auto cls = ClassifyHot(s.prof, s.dev.space());
+  EXPECT_TRUE(cls.has_hot_pattern);  // the knee exists...
+  EXPECT_TRUE(cls.hot_objects.empty());  // ...but nothing qualifies
+}
+
+TEST(HotClassifier, FootprintCapExcludesLargeObjects) {
+  HotConfig cfg;
+  cfg.max_footprint = 0.01;  // hot set must stay under 1% of memory
+  Synth s(50, 10000, 0.8, 100, 40, 0.02);  // "hot" is 1/3 of memory
+  const auto cls = ClassifyHot(s.prof, s.dev.space(), cfg);
+  EXPECT_TRUE(cls.hot_objects.empty());
+}
+
+TEST(HotClassifier, ThresholdIsConfigurable) {
+  Synth s(2, 400, 0.8, 100, 40, 0.02);  // 10x knee
+  HotConfig strict;
+  strict.min_max_median_ratio = 50.0;
+  EXPECT_FALSE(ClassifyHot(s.prof, s.dev.space(), strict).has_hot_pattern);
+  HotConfig loose;
+  loose.min_max_median_ratio = 5.0;
+  EXPECT_TRUE(ClassifyHot(s.prof, s.dev.space(), loose).has_hot_pattern);
+}
+
+TEST(HotClassifier, WritableObjectsNeverInCoverage) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("ro", kBlockSize, true);
+  dev.space().Allocate("rw", kBlockSize, false);
+  AccessProfiler prof;
+  exec::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {kWarpSize, 1, 1};
+  prof.BeginKernel(cfg);
+  exec::ThreadCoord who;
+  for (int i = 0; i < 100; ++i) {
+    prof.OnAccess(who, {1, 0, 4, AccessType::kLoad});
+    prof.OnAccess(who, {2, kBlockSize, 4, AccessType::kLoad});
+  }
+  prof.EndKernel();
+  const auto cls = ClassifyHot(prof, dev.space());
+  for (const auto& op : cls.coverage_order) {
+    EXPECT_NE(op.name, "rw");
+  }
+}
+
+TEST(HotClassifier, SplitBlocksPartitionsTouchedBlocks) {
+  Synth s(2, 10000, 0.8, 100, 40, 0.02);
+  const auto cls = ClassifyHot(s.prof, s.dev.space());
+  const auto split = SplitBlocks(cls, s.prof, s.dev.space());
+  EXPECT_EQ(split.hot.size(), 2u);
+  EXPECT_EQ(split.rest.size(), 100u);
+  for (std::uint64_t b : split.hot) {
+    for (std::uint64_t r : split.rest) EXPECT_NE(b, r);
+  }
+}
+
+TEST(HotClassifier, EmptyProfile) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("x", kBlockSize, true);
+  AccessProfiler prof;
+  const auto cls = ClassifyHot(prof, dev.space());
+  EXPECT_FALSE(cls.has_hot_pattern);
+  EXPECT_TRUE(cls.coverage_order.empty());
+}
+
+}  // namespace
+}  // namespace dcrm::core

@@ -1,0 +1,115 @@
+// End-to-end checks of the paper's main claims on a scaled-down
+// configuration: profiling -> hot identification -> protection ->
+// (a) SDCs collapse, (b) timing overhead of hot-only protection is
+// small while full protection is expensive.
+#include <gtest/gtest.h>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "fault/campaign.h"
+
+namespace dcrm {
+namespace {
+
+sim::GpuConfig Cfg() { return sim::GpuConfig{}; }
+
+TEST(EndToEnd, ReliabilityPipelineOnGesummv) {
+  auto app = apps::MakeApp("P-GESUMMV", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, Cfg());
+  ASSERT_TRUE(profile.hot.has_hot_pattern);
+  ASSERT_FALSE(profile.hot.hot_objects.empty());
+
+  fault::CampaignConfig cc;
+  cc.target = fault::Target::kHotBlocks;
+  cc.faulty_blocks = 1;
+  cc.bits_per_block = 3;
+  cc.runs = 50;
+  cc.seed = 17;
+
+  fault::FaultCampaign baseline(*app, profile, sim::Scheme::kNone, 0);
+  const auto base = baseline.Run(cc);
+
+  const auto hot_count =
+      static_cast<unsigned>(profile.hot.hot_objects.size());
+  fault::FaultCampaign corrected(*app, profile, sim::Scheme::kDetectCorrect,
+                                 hot_count);
+  const auto corr = corrected.Run(cc);
+
+  EXPECT_GT(base.sdc, 0u);
+  EXPECT_EQ(corr.sdc, 0u);  // the paper's headline claim
+}
+
+TEST(EndToEnd, TimingOverheadOrdering) {
+  auto app = apps::MakeApp("P-BICG", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, Cfg());
+  const auto cover_all =
+      static_cast<unsigned>(profile.hot.coverage_order.size());
+  const auto cover_hot =
+      static_cast<unsigned>(profile.hot.hot_objects.size());
+
+  const auto base =
+      apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+  const auto base_stats = apps::RunTiming(*app, profile, Cfg(), base.plan);
+
+  const auto hot_det = apps::MakeProtectionSetup(
+      *app, profile, sim::Scheme::kDetectOnly, cover_hot);
+  const auto hot_det_stats =
+      apps::RunTiming(*app, profile, Cfg(), hot_det.plan);
+
+  const auto all_det = apps::MakeProtectionSetup(
+      *app, profile, sim::Scheme::kDetectOnly, cover_all);
+  const auto all_det_stats =
+      apps::RunTiming(*app, profile, Cfg(), all_det.plan);
+
+  const auto all_corr = apps::MakeProtectionSetup(
+      *app, profile, sim::Scheme::kDetectCorrect, cover_all);
+  const auto all_corr_stats =
+      apps::RunTiming(*app, profile, Cfg(), all_corr.plan);
+
+  const double hot_det_over =
+      static_cast<double>(hot_det_stats.cycles) / base_stats.cycles;
+  const double all_det_over =
+      static_cast<double>(all_det_stats.cycles) / base_stats.cycles;
+  const double all_corr_over =
+      static_cast<double>(all_corr_stats.cycles) / base_stats.cycles;
+
+  // Hot-only protection is nearly free. Execution-time orderings get a
+  // small tolerance: at tiny scale the timing model has a few percent
+  // of phase noise (see DESIGN.md), while the traffic metrics below
+  // are deterministic and strictly ordered.
+  EXPECT_LT(hot_det_over, 1.15);
+  EXPECT_GT(all_det_over, hot_det_over - 0.05);
+  EXPECT_GE(all_corr_over, all_det_over * 0.95);
+
+  // Extra L1-missed accesses track the replication degree.
+  EXPECT_GT(all_det_stats.L1MissedAccesses(),
+            base_stats.L1MissedAccesses());
+  EXPECT_GT(all_det_stats.L1MissedAccesses(),
+            hot_det_stats.L1MissedAccesses());
+  EXPECT_GT(all_corr_stats.replica_transactions,
+            all_det_stats.replica_transactions);
+}
+
+TEST(EndToEnd, DetectionOnlyTerminatesAcrossApps) {
+  for (const char* name : {"A-Laplacian", "P-MVT"}) {
+    auto app = apps::MakeApp(name, apps::AppScale::kTiny);
+    const auto profile = apps::ProfileApp(*app, Cfg());
+    const auto hot_count =
+        static_cast<unsigned>(profile.hot.hot_objects.size());
+    ASSERT_GT(hot_count, 0u) << name;
+    fault::FaultCampaign detect(*app, profile, sim::Scheme::kDetectOnly,
+                                hot_count);
+    fault::CampaignConfig cc;
+    cc.target = fault::Target::kHotBlocks;
+    cc.faulty_blocks = 1;
+    cc.bits_per_block = 4;
+    cc.runs = 25;
+    cc.seed = 3;
+    const auto counts = detect.Run(cc);
+    EXPECT_EQ(counts.sdc, 0u) << name;
+    EXPECT_GT(counts.detected, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dcrm

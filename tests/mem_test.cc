@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.h"
+#include "mem/device_memory.h"
+#include "mem/fault_model.h"
+
+namespace dcrm::mem {
+namespace {
+
+TEST(AddressSpace, AllocatesBlockAligned) {
+  AddressSpace sp;
+  const ObjectId a = sp.Allocate("a", 100, true);
+  const ObjectId b = sp.Allocate("b", 1, false);
+  EXPECT_EQ(sp.Object(a).base % kBlockSize, 0u);
+  EXPECT_EQ(sp.Object(b).base % kBlockSize, 0u);
+  EXPECT_EQ(sp.Object(b).base, 128u);  // padded past a's block
+}
+
+TEST(AddressSpace, ObjectsNeverShareABlock) {
+  AddressSpace sp;
+  sp.Allocate("a", 130, true);
+  sp.Allocate("b", 130, true);
+  const auto& oa = sp.Object(0);
+  const auto& ob = sp.Object(1);
+  EXPECT_LT(BlockOf(oa.end() - 1), BlockOf(ob.base));
+}
+
+TEST(AddressSpace, FindAndOwner) {
+  AddressSpace sp;
+  sp.Allocate("weights", 256, true);
+  sp.Allocate("images", 512, false);
+  EXPECT_TRUE(sp.FindByName("weights").has_value());
+  EXPECT_FALSE(sp.FindByName("nope").has_value());
+  EXPECT_EQ(*sp.OwnerOf(0), 0u);
+  EXPECT_EQ(*sp.OwnerOf(300), 1u);
+  EXPECT_FALSE(sp.OwnerOf(100000).has_value());
+}
+
+TEST(AddressSpace, DuplicateNameThrows) {
+  AddressSpace sp;
+  sp.Allocate("x", 4, true);
+  EXPECT_THROW(sp.Allocate("x", 4, true), std::invalid_argument);
+}
+
+TEST(AddressSpace, ZeroSizeThrows) {
+  AddressSpace sp;
+  EXPECT_THROW(sp.Allocate("x", 0, true), std::invalid_argument);
+}
+
+TEST(AddressSpace, RawAllocationsNotListed) {
+  AddressSpace sp;
+  sp.Allocate("x", 4, true);
+  const Addr raw = sp.AllocateRaw(256);
+  EXPECT_FALSE(sp.OwnerOf(raw).has_value());
+  EXPECT_EQ(sp.Objects().size(), 1u);
+  EXPECT_EQ(sp.TotalObjectBytes(), 4u);
+}
+
+TEST(FaultModel, StuckAtOneAsserts) {
+  FaultMap fm;
+  fm.Add({.byte_addr = 10, .bit = 3, .stuck_value = true});
+  EXPECT_EQ(fm.ApplyByte(10, 0x00), 0x08);
+  EXPECT_EQ(fm.ApplyByte(10, 0xFF), 0xFF);
+  EXPECT_EQ(fm.ApplyByte(11, 0x00), 0x00);  // other bytes untouched
+}
+
+TEST(FaultModel, StuckAtZeroClears) {
+  FaultMap fm;
+  fm.Add({.byte_addr = 10, .bit = 3, .stuck_value = false});
+  EXPECT_EQ(fm.ApplyByte(10, 0xFF), 0xF7);
+  EXPECT_EQ(fm.ApplyByte(10, 0x00), 0x00);
+}
+
+TEST(FaultModel, ApplySpansBytes) {
+  FaultMap fm;
+  fm.Add({.byte_addr = 2, .bit = 0, .stuck_value = true});
+  fm.Add({.byte_addr = 5, .bit = 7, .stuck_value = false});
+  std::uint8_t buf[8] = {0, 0, 0, 0, 0xFF, 0xFF, 0, 0};
+  fm.Apply(0, buf, 8);
+  EXPECT_EQ(buf[2], 0x01);
+  EXPECT_EQ(buf[5], 0x7F);
+  EXPECT_EQ(buf[4], 0xFF);
+}
+
+TEST(FaultModel, TracksFaultyBlocks) {
+  FaultMap fm;
+  fm.Add({.byte_addr = 300, .bit = 1, .stuck_value = true});
+  EXPECT_TRUE(fm.BlockHasFaults(2));
+  EXPECT_FALSE(fm.BlockHasFaults(0));
+  fm.Clear();
+  EXPECT_TRUE(fm.Empty());
+}
+
+TEST(FaultModel, MakeWordFaultsRespectsRecipe) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = MakeWordFaults(/*block_base=*/256, 3, rng);
+    ASSERT_EQ(faults.size(), 3u);
+    // All faults within one aligned 4-byte word of the block.
+    const Addr word_base = faults[0].byte_addr & ~Addr{3};
+    EXPECT_GE(word_base, 256u);
+    EXPECT_LT(word_base, 256u + kBlockSize);
+    for (const auto& f : faults) {
+      EXPECT_GE(f.byte_addr, word_base);
+      EXPECT_LT(f.byte_addr, word_base + 4);
+      EXPECT_LE(f.bit, 7);
+    }
+    // Distinct bit positions within the word.
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      for (std::size_t j = i + 1; j < faults.size(); ++j) {
+        const bool same = faults[i].byte_addr == faults[j].byte_addr &&
+                          faults[i].bit == faults[j].bit;
+        EXPECT_FALSE(same);
+      }
+    }
+  }
+}
+
+TEST(FaultModel, RangeRestrictedFaultsStayInObjectBytes) {
+  Rng rng(31);
+  // A 36-byte object at the head of its block: faults must target
+  // words 0..8 only, never the padding.
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto faults = MakeWordFaultsInRange(256, 256 + 36, 3, rng);
+    for (const auto& f : faults) {
+      EXPECT_GE(f.byte_addr, 256u);
+      EXPECT_LT(f.byte_addr, 256u + 36u);
+    }
+  }
+}
+
+TEST(FaultModel, RangeCoveringPartialLastWord) {
+  Rng rng(32);
+  // A 4-byte object: the only valid word is word 0.
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faults = MakeWordFaultsInRange(512, 516, 2, rng);
+    for (const auto& f : faults) {
+      EXPECT_GE(f.byte_addr, 512u);
+      EXPECT_LT(f.byte_addr, 516u);
+    }
+  }
+}
+
+TEST(FaultModel, EmptyRangeThrows) {
+  Rng rng(33);
+  EXPECT_THROW(MakeWordFaultsInRange(100, 100, 2, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultModel, MakeWordFaultsBadBitCountThrows) {
+  Rng rng(1);
+  EXPECT_THROW(MakeWordFaults(0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(MakeWordFaults(0, 33, rng), std::invalid_argument);
+}
+
+TEST(DeviceMemory, ReadWriteRoundTrip) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 64, false);
+  dev.Write<float>(0, 3.5f);
+  EXPECT_FLOAT_EQ(dev.Read<float>(0), 3.5f);
+  dev.Write<std::int32_t>(8, -17);
+  EXPECT_EQ(dev.Read<std::int32_t>(8), -17);
+}
+
+TEST(DeviceMemory, FaultsVisibleOnReadButNotHealedByWrite) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 64, false);
+  dev.Write<std::uint32_t>(0, 0);
+  dev.faults().Add({.byte_addr = 0, .bit = 0, .stuck_value = true});
+  EXPECT_EQ(dev.Read<std::uint32_t>(0), 1u);
+  dev.Write<std::uint32_t>(0, 0);  // write does not heal a stuck cell
+  EXPECT_EQ(dev.Read<std::uint32_t>(0), 1u);
+  EXPECT_EQ(dev.ReadGoldenTyped<std::uint32_t>(0), 0u);
+}
+
+TEST(DeviceMemory, OutOfRangeThrows) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 16, false);
+  EXPECT_THROW(dev.Read<float>(1 << 20), std::out_of_range);
+  EXPECT_THROW(dev.Write<float>(1 << 20, 1.0f), std::out_of_range);
+}
+
+TEST(DeviceMemory, SecdedCorrectsSingleBit) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 64, false);
+  dev.set_ecc_mode(EccMode::kSecded);
+  dev.Write<std::uint64_t>(0, 0xDEADBEEFCAFEF00DULL);
+  dev.faults().Add({.byte_addr = 3, .bit = 2, .stuck_value = true});
+  // A single stuck bit is corrected transparently.
+  EXPECT_EQ(dev.Read<std::uint64_t>(0), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_GE(dev.ecc_counters().corrected, 1u);
+}
+
+TEST(DeviceMemory, SecdedDetectsDoubleBit) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 64, false);
+  dev.set_ecc_mode(EccMode::kSecded);
+  dev.Write<std::uint64_t>(0, 0);
+  dev.faults().Add({.byte_addr = 0, .bit = 0, .stuck_value = true});
+  dev.faults().Add({.byte_addr = 1, .bit = 1, .stuck_value = true});
+  EXPECT_THROW(dev.Read<std::uint64_t>(0), DueError);
+  EXPECT_GE(dev.ecc_counters().detected_due, 1u);
+}
+
+TEST(DeviceMemory, NoEccPassesMultiBitSilently) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 64, false);
+  dev.Write<std::uint64_t>(0, 0);
+  dev.faults().Add({.byte_addr = 0, .bit = 0, .stuck_value = true});
+  dev.faults().Add({.byte_addr = 1, .bit = 1, .stuck_value = true});
+  EXPECT_EQ(dev.Read<std::uint64_t>(0), 0x0201u);
+}
+
+}  // namespace
+}  // namespace dcrm::mem

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "metrics/error_metric.h"
+
+namespace dcrm::metrics {
+namespace {
+
+TEST(VectorDiff, IdenticalIsZero) {
+  const std::vector<float> a{1, 2, 3};
+  EXPECT_EQ(VectorDiffFraction(a, a), 0.0);
+  EXPECT_EQ(VectorDiffFractionRel(a, a, 1e-6, 1e-6), 0.0);
+}
+
+TEST(VectorDiff, CountsDifferingElements) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{1, 9, 3, 9};
+  EXPECT_DOUBLE_EQ(VectorDiffFraction(a, b), 0.5);
+}
+
+TEST(VectorDiff, ToleranceMasksSmallDeviations) {
+  const std::vector<float> a{100.0f, 200.0f};
+  const std::vector<float> b{100.0001f, 200.1f};
+  // rel 1e-5 masks the 1e-4 deviation on 100 but not 0.1 on 200.
+  EXPECT_DOUBLE_EQ(VectorDiffFractionRel(a, b, 1e-5, 1e-9), 0.5);
+  // A tight tolerance flags both.
+  EXPECT_DOUBLE_EQ(VectorDiffFractionRel(a, b, 1e-8, 1e-9), 1.0);
+  // A loose tolerance masks both.
+  EXPECT_DOUBLE_EQ(VectorDiffFractionRel(a, b, 1e-2, 1e-9), 0.0);
+}
+
+TEST(VectorDiff, NanCountsAsDifferent) {
+  const std::vector<float> a{1.0f, 2.0f};
+  const std::vector<float> b{std::nanf(""), 2.0f};
+  EXPECT_DOUBLE_EQ(VectorDiffFraction(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(VectorDiffFractionRel(a, b, 1e-6, 1e-6), 0.5);
+}
+
+TEST(VectorDiff, SizeMismatchThrows) {
+  const std::vector<float> a{1.0f};
+  const std::vector<float> b{1.0f, 2.0f};
+  EXPECT_THROW(VectorDiffFraction(a, b), std::invalid_argument);
+}
+
+TEST(Nrmse, IdenticalIsZero) {
+  const std::vector<float> a{0, 128, 255};
+  EXPECT_DOUBLE_EQ(Nrmse(a, a), 0.0);
+}
+
+TEST(Nrmse, NormalizedByRange) {
+  const std::vector<float> a{0.0f, 255.0f};
+  const std::vector<float> b{25.5f, 255.0f};  // rmse = 25.5/sqrt(2)
+  EXPECT_NEAR(Nrmse(a, b), 25.5 / std::sqrt(2.0) / 255.0, 1e-9);
+}
+
+TEST(Nrmse, NanSaturatesToOne) {
+  const std::vector<float> a{0.0f, 255.0f};
+  const std::vector<float> b{std::nanf(""), 255.0f};
+  EXPECT_DOUBLE_EQ(Nrmse(a, b), 1.0);
+}
+
+TEST(NrmseRendered, ClampsWildValuesToGoldenRange) {
+  const std::vector<float> golden{0.0f, 255.0f, 128.0f, 64.0f};
+  // One pixel blown up to 1e38: rendered comparison caps its
+  // deviation at the golden dynamic range.
+  const std::vector<float> obs{0.0f, 255.0f, 1e38f, 64.0f};
+  const double r = NrmseRendered(golden, obs);
+  EXPECT_LE(r, 0.5);  // sqrt((255-128)^2/4)/255
+  EXPECT_GT(r, 0.0);
+  // Raw NRMSE would saturate/explode instead.
+  EXPECT_GT(Nrmse(golden, obs), r);
+}
+
+TEST(NrmseRendered, NanRendersAsBlack) {
+  const std::vector<float> golden{0.0f, 255.0f};
+  const std::vector<float> obs{std::nanf(""), 255.0f};
+  EXPECT_NEAR(NrmseRendered(golden, obs), 0.0, 1e-9);  // NaN -> lo == golden
+}
+
+TEST(NrmseRendered, IdenticalImagesZero) {
+  const std::vector<float> a{1, 2, 3, 4};
+  EXPECT_EQ(NrmseRendered(a, a), 0.0);
+}
+
+TEST(Misclassification, ArgmaxFlipsCounted) {
+  // Two samples, three classes.
+  const std::vector<float> golden{0.1f, 0.9f, 0.0f, 0.8f, 0.1f, 0.1f};
+  std::vector<float> obs = golden;
+  EXPECT_DOUBLE_EQ(MisclassificationRate(golden, obs, 3), 0.0);
+  obs[0] = 2.0f;  // sample 0 now classifies as class 0
+  EXPECT_DOUBLE_EQ(MisclassificationRate(golden, obs, 3), 0.5);
+}
+
+TEST(Misclassification, ScoreShiftWithoutFlipIsNotMisclassification) {
+  const std::vector<float> golden{0.1f, 0.9f};
+  const std::vector<float> obs{0.2f, 0.95f};
+  EXPECT_DOUBLE_EQ(MisclassificationRate(golden, obs, 2), 0.0);
+}
+
+TEST(Misclassification, BadLayoutThrows) {
+  const std::vector<float> a{1, 2, 3};
+  EXPECT_THROW(MisclassificationRate(a, a, 2), std::invalid_argument);
+  EXPECT_THROW(MisclassificationRate(a, a, 0), std::invalid_argument);
+}
+
+TEST(AsFloats, ReinterpretsBytes) {
+  const float v = 1.5f;
+  std::vector<std::uint8_t> bytes(4);
+  std::memcpy(bytes.data(), &v, 4);
+  const auto floats = AsFloats(bytes);
+  ASSERT_EQ(floats.size(), 1u);
+  EXPECT_FLOAT_EQ(floats[0], 1.5f);
+  std::vector<std::uint8_t> bad(3);
+  EXPECT_THROW(AsFloats(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcrm::metrics

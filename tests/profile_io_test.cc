@@ -1,0 +1,69 @@
+// Round-trip tests for profile persistence.
+#include <gtest/gtest.h>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "core/profile_io.h"
+
+namespace dcrm::core {
+namespace {
+
+TEST(ProfileIo, RoundTripPreservesEverything) {
+  auto app = apps::MakeApp("P-GESUMMV", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, sim::GpuConfig{});
+  const std::string text = SaveProfileToString(profile.profiler);
+  const AccessProfiler loaded = LoadProfileFromString(text);
+
+  EXPECT_EQ(loaded.TotalReads(), profile.profiler.TotalReads());
+  EXPECT_EQ(loaded.TotalAccesses(), profile.profiler.TotalAccesses());
+  ASSERT_EQ(loaded.blocks().size(), profile.profiler.blocks().size());
+  for (const auto& [block, bp] : profile.profiler.blocks()) {
+    const auto it = loaded.blocks().find(block);
+    ASSERT_NE(it, loaded.blocks().end()) << block;
+    EXPECT_EQ(it->second.reads, bp.reads);
+    EXPECT_EQ(it->second.writes, bp.writes);
+    EXPECT_EQ(it->second.l1_misses, bp.l1_misses);
+    EXPECT_DOUBLE_EQ(it->second.warp_share, bp.warp_share);
+  }
+  EXPECT_EQ(loaded.pc_stats().size(), profile.profiler.pc_stats().size());
+}
+
+TEST(ProfileIo, RoundTripIsByteStable) {
+  auto app = apps::MakeApp("A-Meanfilter", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, sim::GpuConfig{});
+  const std::string once = SaveProfileToString(profile.profiler);
+  const std::string twice =
+      SaveProfileToString(LoadProfileFromString(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ProfileIo, ClassificationSurvivesReload) {
+  auto app = apps::MakeApp("P-BICG", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, sim::GpuConfig{});
+  const AccessProfiler loaded =
+      LoadProfileFromString(SaveProfileToString(profile.profiler));
+  const auto cls = ClassifyHot(loaded, profile.dev->space());
+  ASSERT_EQ(cls.hot_objects.size(), profile.hot.hot_objects.size());
+  for (std::size_t i = 0; i < cls.hot_objects.size(); ++i) {
+    EXPECT_EQ(cls.hot_objects[i].name, profile.hot.hot_objects[i].name);
+  }
+}
+
+TEST(ProfileIo, RejectsGarbage) {
+  EXPECT_THROW(LoadProfileFromString("not a profile"), std::runtime_error);
+  EXPECT_THROW(LoadProfileFromString("dcrm-profile v1\nbogus 1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(LoadProfileFromString("dcrm-profile v1\nblock xyz\n"),
+               std::runtime_error);
+}
+
+TEST(ProfileIo, EmptyProfileRoundTrips) {
+  AccessProfiler empty;
+  const auto loaded =
+      LoadProfileFromString(SaveProfileToString(empty));
+  EXPECT_TRUE(loaded.blocks().empty());
+  EXPECT_EQ(loaded.TotalAccesses(), 0u);
+}
+
+}  // namespace
+}  // namespace dcrm::core

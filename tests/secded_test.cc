@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "mem/secded.h"
+
+namespace dcrm::mem {
+namespace {
+
+TEST(Secded, CleanWordDecodesOk) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t d = rng.Next64();
+    const EccWord w = Secded72::Encode(d);
+    const auto r = Secded72::Decode(w);
+    EXPECT_EQ(r.status, EccStatus::kOk);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+TEST(Secded, EverySingleDataBitErrorCorrected) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t d = rng.Next64();
+    const EccWord clean = Secded72::Encode(d);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+      EccWord w = clean;
+      w.data = FlipBit(w.data, bit);
+      const auto r = Secded72::Decode(w);
+      EXPECT_EQ(r.status, EccStatus::kCorrectedSingle);
+      EXPECT_EQ(r.data, d) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Secded, SingleCheckBitErrorCorrected) {
+  const std::uint64_t d = 0x123456789ABCDEF0ULL;
+  const EccWord clean = Secded72::Encode(d);
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    EccWord w = clean;
+    w.check = static_cast<std::uint8_t>(FlipBit(w.check, bit));
+    const auto r = Secded72::Decode(w);
+    EXPECT_EQ(r.status, EccStatus::kCorrectedSingle);
+    EXPECT_EQ(r.data, d);
+  }
+}
+
+TEST(Secded, EveryDoubleDataBitErrorDetected) {
+  Rng rng(3);
+  const std::uint64_t d = rng.Next64();
+  const EccWord clean = Secded72::Encode(d);
+  for (unsigned b1 = 0; b1 < 64; ++b1) {
+    for (unsigned b2 = b1 + 1; b2 < 64; ++b2) {
+      EccWord w = clean;
+      w.data = FlipBit(FlipBit(w.data, b1), b2);
+      const auto r = Secded72::Decode(w);
+      EXPECT_TRUE(r.status == EccStatus::kDetectedDouble ||
+                  r.status == EccStatus::kDetectedInvalid)
+          << b1 << "," << b2;
+    }
+  }
+}
+
+TEST(Secded, TripleErrorsUsuallyMiscorrect) {
+  // The defining weakness the paper targets: 3-bit faults fool SECDED
+  // into a "successful" correction of the wrong bit, producing silent
+  // corruption.
+  Rng rng(4);
+  int miscorrected = 0;
+  int detected = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t d = rng.Next64();
+    EccWord w = Secded72::Encode(d);
+    unsigned bits[3];
+    bits[0] = static_cast<unsigned>(rng.Below(64));
+    do {
+      bits[1] = static_cast<unsigned>(rng.Below(64));
+    } while (bits[1] == bits[0]);
+    do {
+      bits[2] = static_cast<unsigned>(rng.Below(64));
+    } while (bits[2] == bits[0] || bits[2] == bits[1]);
+    for (unsigned b : bits) w.data = FlipBit(w.data, b);
+    const auto r = Secded72::Decode(w);
+    if (r.status == EccStatus::kCorrectedSingle && r.data != d) {
+      ++miscorrected;
+    } else if (r.status == EccStatus::kDetectedInvalid) {
+      ++detected;
+    }
+    // A triple error must never decode clean to the original: that
+    // would require distance >= 6.
+    EXPECT_FALSE(r.status == EccStatus::kOk && r.data == d);
+  }
+  EXPECT_GT(miscorrected, trials / 2);  // miscorrection dominates
+  EXPECT_GT(detected, 0);               // invalid syndromes occur too
+}
+
+TEST(Secded, QuadErrorsDetectedOrEscape) {
+  Rng rng(5);
+  int detected = 0;
+  int escaped = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t d = rng.Next64();
+    EccWord w = Secded72::Encode(d);
+    unsigned chosen[4];
+    int n = 0;
+    while (n < 4) {
+      const auto b = static_cast<unsigned>(rng.Below(64));
+      bool dup = false;
+      for (int k = 0; k < n; ++k) dup = dup || chosen[k] == b;
+      if (!dup) chosen[n++] = b;
+    }
+    for (unsigned b : chosen) w.data = FlipBit(w.data, b);
+    const auto r = Secded72::Decode(w);
+    if (r.status == EccStatus::kDetectedDouble ||
+        r.status == EccStatus::kDetectedInvalid) {
+      ++detected;
+    }
+    if (r.status == EccStatus::kOk) {
+      ++escaped;
+      EXPECT_NE(r.data, d);  // an escape is silent corruption
+    }
+  }
+  EXPECT_GT(detected, trials * 8 / 10);
+}
+
+TEST(Secded, DataBitPositionsSkipPowersOfTwo) {
+  for (unsigned i = 0; i < 64; ++i) {
+    const unsigned p = Secded72::DataBitPosition(i);
+    EXPECT_GE(p, 3u);
+    EXPECT_LE(p, 71u);
+    EXPECT_NE(p & (p - 1), 0u) << "power-of-two position carries a check bit";
+  }
+}
+
+}  // namespace
+}  // namespace dcrm::mem

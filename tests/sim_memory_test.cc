@@ -1,0 +1,174 @@
+// Detailed tests for the memory-side timing components: address
+// mapping, DRAM bank behaviour, partition MSHR merging, and the
+// interconnect's routing.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/gpu.h"
+
+namespace dcrm::sim {
+namespace {
+
+TEST(AddrMap, BlockInterleavingAcrossChannels) {
+  AddrMap map{6, 16, 16};
+  for (std::uint64_t b = 0; b < 24; ++b) {
+    EXPECT_EQ(map.Channel(b * kBlockSize), b % 6);
+  }
+}
+
+TEST(AddrMap, BankAndRowProgression) {
+  AddrMap map{6, 16, 16};
+  // Consecutive blocks within one channel walk the banks.
+  const Addr stride = 6 * kBlockSize;  // next block on channel 0
+  EXPECT_EQ(map.Bank(0), 0u);
+  EXPECT_EQ(map.Bank(stride), 1u);
+  EXPECT_EQ(map.Bank(15 * stride), 15u);
+  EXPECT_EQ(map.Bank(16 * stride), 0u);  // wraps
+  // Rows advance every banks*blocks_per_row channel-blocks.
+  EXPECT_EQ(map.Row(0), 0u);
+  EXPECT_EQ(map.Row(16 * 16 * stride), 1u);
+}
+
+TEST(Dram, DifferentBanksOverlap) {
+  GpuConfig cfg;
+  AddrMap map{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()};
+  GpuStats stats;
+
+  // Serial: two conflicting requests to the same bank, different rows.
+  const Addr same_bank_other_row = static_cast<Addr>(cfg.BlocksPerRow()) *
+                                   cfg.dram_banks * cfg.num_partitions *
+                                   kBlockSize;
+  DramChannel serial(cfg, map);
+  serial.Push({1, 0, false, 0}, 0);
+  serial.Push({2, same_bank_other_row, false, 0}, 0);
+  std::vector<MemRequest> done;
+  std::uint64_t t_serial = 0;
+  while (done.size() < 2) serial.Tick(t_serial++, done, stats);
+
+  // Parallel: two requests to different banks.
+  DramChannel parallel(cfg, map);
+  parallel.Push({3, 0, false, 0}, 0);
+  parallel.Push({4, static_cast<Addr>(cfg.num_partitions) * kBlockSize,
+                 false, 0},
+                0);
+  done.clear();
+  std::uint64_t t_par = 0;
+  while (done.size() < 2) parallel.Tick(t_par++, done, stats);
+
+  EXPECT_LT(t_par, t_serial);
+}
+
+TEST(Dram, QueueCapacityRespected) {
+  GpuConfig cfg;
+  cfg.dram_queue = 4;
+  AddrMap map{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()};
+  DramChannel ch(cfg, map);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ch.CanAccept());
+    ch.Push({i, i * kBlockSize, false, 0}, 0);
+  }
+  EXPECT_FALSE(ch.CanAccept());
+  GpuStats stats;
+  std::vector<MemRequest> done;
+  std::uint64_t t = 0;
+  while (done.empty()) ch.Tick(t++, done, stats);
+  EXPECT_TRUE(ch.CanAccept());
+}
+
+TEST(Dram, WritesCompleteWithoutResponses) {
+  GpuConfig cfg;
+  AddrMap map{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()};
+  DramChannel ch(cfg, map);
+  GpuStats stats;
+  ch.Push({1, 0, true, 0}, 0);
+  std::vector<MemRequest> done;
+  std::uint64_t t = 0;
+  while (done.empty()) ch.Tick(t++, done, stats);
+  EXPECT_TRUE(done[0].is_write);
+  EXPECT_EQ(stats.dram_writes, 1u);
+  EXPECT_EQ(stats.dram_reads, 0u);
+}
+
+TEST(Icnt, RoutesResponsesToTheRightSm) {
+  GpuConfig cfg;
+  Interconnect icnt(cfg);
+  icnt.PushResponse({1, 0, false, false, /*sm=*/3}, 0, 0);
+  icnt.PushResponse({2, 0, false, false, /*sm=*/7}, 0, 1);
+  const std::uint64_t late = 10000;
+  EXPECT_FALSE(icnt.PopResponseFor(0, late).has_value());
+  auto r3 = icnt.PopResponseFor(3, late);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->id, 1u);
+  auto r7 = icnt.PopResponseFor(7, late);
+  ASSERT_TRUE(r7.has_value());
+  EXPECT_EQ(r7->id, 2u);
+}
+
+TEST(Icnt, PartitionsAreIndependentRequestPipes) {
+  GpuConfig cfg;
+  Interconnect icnt(cfg);
+  icnt.PushRequest({1, 0, false, false, 0}, 0, /*partition=*/2);
+  EXPECT_FALSE(icnt.PopRequestFor(0, 10000).has_value());
+  EXPECT_TRUE(icnt.PopRequestFor(2, 10000).has_value());
+}
+
+// Partition-level MSHR merging: two SMs missing the same block cost
+// one DRAM read but two responses.
+TEST(Partition, MergesCrossSmMisses) {
+  GpuConfig cfg;
+  AddrMap map{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()};
+  MemPartition part(cfg, map, /*id=*/0);
+  Interconnect icnt(cfg);
+  GpuStats stats;
+  icnt.PushRequest({1, 0, false, false, /*sm=*/0}, 0, 0);
+  icnt.PushRequest({2, 0, false, false, /*sm=*/1}, 0, 0);
+  std::uint64_t t = 0;
+  int got0 = 0;
+  int got1 = 0;
+  while ((got0 == 0 || got1 == 0) && t < 100000) {
+    part.Tick(t, icnt, stats);
+    if (icnt.PopResponseFor(0, t)) ++got0;
+    if (icnt.PopResponseFor(1, t)) ++got1;
+    ++t;
+  }
+  EXPECT_EQ(got0, 1);
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(stats.dram_reads, 1u);  // merged
+  EXPECT_EQ(stats.l2_misses, 2u);
+}
+
+TEST(Partition, SecondReadHitsL2AfterFill) {
+  GpuConfig cfg;
+  AddrMap map{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()};
+  MemPartition part(cfg, map, 0);
+  Interconnect icnt(cfg);
+  GpuStats stats;
+  icnt.PushRequest({1, 0, false, false, 0}, 0, 0);
+  std::uint64_t t = 0;
+  while (!icnt.PopResponseFor(0, t) && t < 100000) part.Tick(t++, icnt, stats);
+  icnt.PushRequest({2, 0, false, false, 0}, t, 0);
+  while (!icnt.PopResponseFor(0, t) && t < 200000) part.Tick(t++, icnt, stats);
+  EXPECT_EQ(stats.l2_hits, 1u);
+  EXPECT_EQ(stats.dram_reads, 1u);
+}
+
+TEST(Partition, WriteMissForwardsToDramWithoutAllocation) {
+  GpuConfig cfg;
+  AddrMap map{cfg.num_partitions, cfg.dram_banks, cfg.BlocksPerRow()};
+  MemPartition part(cfg, map, 0);
+  Interconnect icnt(cfg);
+  GpuStats stats;
+  icnt.PushRequest({1, 0, true, false, 0}, 0, 0);
+  for (std::uint64_t t = 0; t < 5000; ++t) part.Tick(t, icnt, stats);
+  EXPECT_EQ(stats.dram_writes, 1u);
+  // A subsequent read must still miss (no write-allocate).
+  icnt.PushRequest({2, 0, false, false, 0}, 5000, 0);
+  std::uint64_t t = 5000;
+  while (!icnt.PopResponseFor(0, t) && t < 100000) part.Tick(t++, icnt, stats);
+  EXPECT_EQ(stats.l2_hits, 0u);
+}
+
+}  // namespace
+}  // namespace dcrm::sim

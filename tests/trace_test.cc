@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "exec/data_plane.h"
+#include "exec/launcher.h"
+#include "trace/trace.h"
+#include "trace/trace_builder.h"
+
+namespace dcrm::trace {
+namespace {
+
+exec::AccessRecord Ld(Pc pc, Addr addr) {
+  return {pc, addr, 4, AccessType::kLoad};
+}
+
+TEST(Coalescer, BroadcastBecomesOneTransaction) {
+  std::vector<exec::AccessRecord> step;
+  for (int lane = 0; lane < 32; ++lane) step.push_back(Ld(1, 512));
+  const auto insts = CoalesceStep(step);
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0].blocks.size(), 1u);
+  EXPECT_EQ(insts[0].blocks[0], 512u);
+  EXPECT_EQ(insts[0].active_lanes, 32u);
+}
+
+TEST(Coalescer, ConsecutiveFloatsCoalesceToOneBlock) {
+  std::vector<exec::AccessRecord> step;
+  for (int lane = 0; lane < 32; ++lane) {
+    step.push_back(Ld(1, 1024 + lane * 4));  // 32 floats == one 128B block
+  }
+  const auto insts = CoalesceStep(step);
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0].blocks.size(), 1u);
+}
+
+TEST(Coalescer, StridedAccessFansOut) {
+  std::vector<exec::AccessRecord> step;
+  for (int lane = 0; lane < 32; ++lane) {
+    step.push_back(Ld(1, static_cast<Addr>(lane) * 1024));  // stride 1KB
+  }
+  const auto insts = CoalesceStep(step);
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0].blocks.size(), 32u);
+}
+
+TEST(Coalescer, MisalignedSpanNeedsTwoBlocks) {
+  std::vector<exec::AccessRecord> step;
+  for (int lane = 0; lane < 32; ++lane) {
+    step.push_back(Ld(1, 64 + lane * 4));  // straddles blocks 0 and 1
+  }
+  const auto insts = CoalesceStep(step);
+  ASSERT_EQ(insts.size(), 1u);
+  EXPECT_EQ(insts[0].blocks.size(), 2u);
+}
+
+TEST(Coalescer, DifferentPcsSplitInstructions) {
+  std::vector<exec::AccessRecord> step;
+  step.push_back(Ld(1, 0));
+  step.push_back(Ld(2, 128));
+  const auto insts = CoalesceStep(step);
+  EXPECT_EQ(insts.size(), 2u);
+}
+
+TEST(Coalescer, LoadAndStoreSplit) {
+  std::vector<exec::AccessRecord> step;
+  step.push_back({1, 0, 4, AccessType::kLoad});
+  step.push_back({1, 0, 4, AccessType::kStore});
+  const auto insts = CoalesceStep(step);
+  EXPECT_EQ(insts.size(), 2u);
+}
+
+TEST(TraceBuilder, BuildsWarpLockstepTrace) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("a", 64 * 1024, true);
+  exec::DirectDataPlane plane(dev);
+  TraceBuilder builder;
+  exec::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {64, 1, 1};
+  exec::LaunchKernel(cfg, plane, &builder, [&](exec::ThreadCtx& ctx) {
+    const std::uint32_t tid =
+        ctx.blockIdx().x * ctx.blockDim().x + ctx.threadIdx().x;
+    // Two lockstep loads: a broadcast and a coalesced row.
+    (void)ctx.Ld<float>(1, 0);
+    (void)ctx.Ld<float>(2, 4096 + tid * 4);
+  });
+  const KernelTrace kt = builder.Build(cfg);
+  ASSERT_EQ(kt.warps.size(), 2u);
+  EXPECT_EQ(kt.warps[0].warp, 0u);
+  EXPECT_EQ(kt.warps[1].warp, 1u);
+  ASSERT_EQ(kt.warps[0].insts.size(), 2u);
+  EXPECT_EQ(kt.warps[0].insts[0].pc, 1u);
+  EXPECT_EQ(kt.warps[0].insts[0].blocks.size(), 1u);   // broadcast
+  EXPECT_EQ(kt.warps[0].insts[1].blocks.size(), 1u);   // coalesced
+  EXPECT_EQ(kt.warps[1].insts[1].blocks[0], 4096u + 128);
+  EXPECT_EQ(kt.TotalMemInsts(), 4u);
+  EXPECT_EQ(kt.TotalTransactions(), 4u);
+}
+
+TEST(TraceBuilder, DivergentThreadsProduceSeparateInsts) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("a", 4096, true);
+  exec::DirectDataPlane plane(dev);
+  TraceBuilder builder;
+  exec::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {32, 1, 1};
+  exec::LaunchKernel(cfg, plane, &builder, [&](exec::ThreadCtx& ctx) {
+    // Half the warp takes a different path (different pc at ordinal 0).
+    if (ctx.threadIdx().x < 16) {
+      (void)ctx.Ld<float>(1, 0);
+    } else {
+      (void)ctx.Ld<float>(2, 2048);
+    }
+  });
+  const KernelTrace kt = builder.Build(cfg);
+  ASSERT_EQ(kt.warps.size(), 1u);
+  EXPECT_EQ(kt.warps[0].insts.size(), 2u);
+  EXPECT_EQ(kt.warps[0].insts[0].active_lanes, 16u);
+}
+
+TEST(TraceBuilder, InactiveThreadsEmitNothing) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("a", 4096, true);
+  exec::DirectDataPlane plane(dev);
+  TraceBuilder builder;
+  exec::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {64, 1, 1};
+  exec::LaunchKernel(cfg, plane, &builder, [&](exec::ThreadCtx& ctx) {
+    const std::uint32_t tid = ctx.threadIdx().x;
+    if (tid >= 32) return;  // boundary guard: warp 1 idle
+    (void)ctx.Ld<float>(1, tid * 4);
+  });
+  const KernelTrace kt = builder.Build(cfg);
+  ASSERT_EQ(kt.warps.size(), 1u);  // idle warp absent from the trace
+  EXPECT_EQ(kt.warps[0].warp, 0u);
+}
+
+}  // namespace
+}  // namespace dcrm::trace

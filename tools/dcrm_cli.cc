@@ -1,0 +1,239 @@
+// dcrm — the command-line front end to the library.
+//
+//   dcrm apps                                  list applications
+//   dcrm config                                print the default hardware
+//                                              config file (edit & pass back
+//                                              via --config=FILE)
+//   dcrm profile <app> [--save=FILE]           offline profiling run: hot
+//                                              classification + Table III
+//   dcrm timing <app> [--scheme=..] [--cover=N]   cycle-level run
+//   dcrm campaign <app> [--target=hot|rest|miss] [--blocks=N] [--bits=N]
+//                 [--runs=N] [--scheme=none|detect|correct] [--cover=N]
+//   Common flags: --scale=tiny|small|medium  --config=FILE  --seed=N
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "core/profile_io.h"
+#include "fault/campaign.h"
+#include "sim/config_io.h"
+
+namespace {
+
+using namespace dcrm;
+
+struct CliArgs {
+  std::string command;
+  std::string app;
+  apps::AppScale scale = apps::AppScale::kSmall;
+  sim::GpuConfig cfg;
+  std::uint64_t seed = 1;
+  std::string save_path;
+  sim::Scheme scheme = sim::Scheme::kNone;
+  std::optional<unsigned> cover;
+  fault::Target target = fault::Target::kMissWeighted;
+  unsigned blocks = 1;
+  unsigned bits = 2;
+  unsigned runs = 200;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: dcrm <apps|config|profile|timing|campaign> [<app>] "
+         "[flags]\n"
+         "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
+         "       --save=FILE (profile)\n"
+         "       --scheme=none|detect|correct --cover=N (timing, campaign)\n"
+         "       --target=hot|rest|miss --blocks=N --bits=N --runs=N "
+         "(campaign)\n";
+  return 2;
+}
+
+bool ParseFlag(CliArgs& args, const std::string& a) {
+  auto value = [&](const char* prefix) -> std::optional<std::string> {
+    const std::size_t n = std::strlen(prefix);
+    if (a.rfind(prefix, 0) == 0) return a.substr(n);
+    return std::nullopt;
+  };
+  if (auto v = value("--scale=")) {
+    if (*v == "tiny") args.scale = apps::AppScale::kTiny;
+    else if (*v == "small") args.scale = apps::AppScale::kSmall;
+    else if (*v == "medium") args.scale = apps::AppScale::kMedium;
+    else return false;
+    return true;
+  }
+  if (auto v = value("--config=")) {
+    args.cfg = sim::LoadGpuConfigFile(*v, args.cfg);
+    return true;
+  }
+  if (auto v = value("--seed=")) {
+    args.seed = std::stoull(*v);
+    return true;
+  }
+  if (auto v = value("--save=")) {
+    args.save_path = *v;
+    return true;
+  }
+  if (auto v = value("--scheme=")) {
+    if (*v == "none") args.scheme = sim::Scheme::kNone;
+    else if (*v == "detect") args.scheme = sim::Scheme::kDetectOnly;
+    else if (*v == "correct") args.scheme = sim::Scheme::kDetectCorrect;
+    else return false;
+    return true;
+  }
+  if (auto v = value("--cover=")) {
+    args.cover = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--target=")) {
+    if (*v == "hot") args.target = fault::Target::kHotBlocks;
+    else if (*v == "rest") args.target = fault::Target::kRestBlocks;
+    else if (*v == "miss") args.target = fault::Target::kMissWeighted;
+    else return false;
+    return true;
+  }
+  if (auto v = value("--blocks=")) {
+    args.blocks = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--bits=")) {
+    args.bits = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--runs=")) {
+    args.runs = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  return false;
+}
+
+int CmdApps() {
+  for (const auto& name : apps::AllAppNames()) std::cout << name << '\n';
+  return 0;
+}
+
+int CmdConfig(const CliArgs& args) {
+  std::cout << sim::DumpGpuConfig(args.cfg);
+  return 0;
+}
+
+int CmdProfile(CliArgs& args) {
+  auto app = apps::MakeApp(args.app, args.scale);
+  const auto profile = apps::ProfileApp(*app, args.cfg);
+  std::cout << args.app << ": knee ratio "
+            << profile.hot.max_median_ratio << "x, hot pattern "
+            << (profile.hot.has_hot_pattern ? "yes" : "no") << "\n";
+  for (const auto& op : profile.hot.coverage_order) {
+    const bool hot = std::any_of(
+        profile.hot.hot_objects.begin(), profile.hot.hot_objects.end(),
+        [&](const auto& h) { return h.id == op.id; });
+    std::cout << "  " << (hot ? "*" : " ") << op.name << "  reads/block "
+              << static_cast<std::uint64_t>(op.reads_per_block)
+              << "  warp-share "
+              << static_cast<int>(100 * op.mean_warp_share) << "%\n";
+  }
+  std::cout << "hot footprint " << 100 * profile.hot.hot_footprint
+            << "% of application memory, "
+            << 100 * profile.hot.hot_access_share
+            << "% of memory transactions\n";
+  if (!args.save_path.empty()) {
+    std::ofstream os(args.save_path);
+    if (!os) {
+      std::cerr << "cannot write " << args.save_path << '\n';
+      return 1;
+    }
+    core::SaveProfile(profile.profiler, os);
+    std::cout << "profile saved to " << args.save_path << '\n';
+  }
+  return 0;
+}
+
+int CmdTiming(CliArgs& args) {
+  auto app = apps::MakeApp(args.app, args.scale);
+  const auto profile = apps::ProfileApp(*app, args.cfg);
+  const unsigned cover = args.cover.value_or(
+      static_cast<unsigned>(profile.hot.hot_objects.size()));
+  const auto base =
+      apps::MakeProtectionSetup(*app, profile, sim::Scheme::kNone, 0);
+  const auto base_stats = apps::RunTiming(*app, profile, args.cfg, base.plan);
+  const auto setup =
+      apps::MakeProtectionSetup(*app, profile, args.scheme, cover);
+  const auto stats = apps::RunTiming(*app, profile, args.cfg, setup.plan);
+  std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
+            << " cover=" << cover << "\n"
+            << "cycles " << stats.cycles << " (baseline " << base_stats.cycles
+            << ", overhead "
+            << 100.0 * (static_cast<double>(stats.cycles) /
+                            static_cast<double>(base_stats.cycles) -
+                        1.0)
+            << "%)\n"
+            << "L1 " << stats.l1_hits << " hits / " << stats.l1_pending_hits
+            << " pending / " << stats.l1_misses << " misses; replica txns "
+            << stats.replica_transactions << "; L2 hits " << stats.l2_hits
+            << "/" << stats.l2_accesses << "; DRAM reads "
+            << stats.dram_reads << " (row hits " << stats.dram_row_hits
+            << ")\n";
+  return 0;
+}
+
+int CmdCampaign(CliArgs& args) {
+  auto app = apps::MakeApp(args.app, args.scale);
+  const auto profile = apps::ProfileApp(*app, args.cfg);
+  unsigned cover = args.cover.value_or(
+      static_cast<unsigned>(profile.hot.hot_objects.size()));
+  if (args.scheme == sim::Scheme::kNone) cover = 0;
+  fault::FaultCampaign campaign(*app, profile, args.scheme, cover);
+  fault::CampaignConfig cc;
+  cc.target = args.target;
+  cc.faulty_blocks = args.blocks;
+  cc.bits_per_block = args.bits;
+  cc.runs = args.runs;
+  cc.seed = args.seed;
+  const auto counts = campaign.Run(cc);
+  const auto ci = counts.SdcCi();
+  std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
+            << " cover=" << cover << " blocks=" << cc.faulty_blocks
+            << " bits=" << cc.bits_per_block << " runs=" << counts.runs
+            << "\nSDC " << counts.sdc << " (" << 100 * ci.p << "% +/- "
+            << 100 * ci.margin << "%), detected " << counts.detected
+            << ", due " << counts.due << ", crash " << counts.crash
+            << ", masked " << counts.masked << ", corrections "
+            << counts.corrections << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  CliArgs args;
+  args.command = argv[1];
+  int i = 2;
+  if (args.command == "profile" || args.command == "timing" ||
+      args.command == "campaign") {
+    if (argc < 3 || argv[2][0] == '-') return Usage();
+    args.app = argv[2];
+    i = 3;
+  }
+  try {
+    for (; i < argc; ++i) {
+      if (!ParseFlag(args, argv[i])) {
+        std::cerr << "bad flag: " << argv[i] << '\n';
+        return Usage();
+      }
+    }
+    if (args.command == "apps") return CmdApps();
+    if (args.command == "config") return CmdConfig(args);
+    if (args.command == "profile") return CmdProfile(args);
+    if (args.command == "timing") return CmdTiming(args);
+    if (args.command == "campaign") return CmdCampaign(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return Usage();
+}
