@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_secded.dir/bench_ablation_secded.cc.o"
+  "CMakeFiles/bench_ablation_secded.dir/bench_ablation_secded.cc.o.d"
+  "bench_ablation_secded"
+  "bench_ablation_secded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_secded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_checkpoint.dir/bench_baseline_checkpoint.cc.o"
+  "CMakeFiles/bench_baseline_checkpoint.dir/bench_baseline_checkpoint.cc.o.d"
+  "bench_baseline_checkpoint"
+  "bench_baseline_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_rmt.dir/bench_baseline_rmt.cc.o"
+  "CMakeFiles/bench_baseline_rmt.dir/bench_baseline_rmt.cc.o.d"
+  "bench_baseline_rmt"
+  "bench_baseline_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

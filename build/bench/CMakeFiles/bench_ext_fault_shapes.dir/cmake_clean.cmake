@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fault_shapes.dir/bench_ext_fault_shapes.cc.o"
+  "CMakeFiles/bench_ext_fault_shapes.dir/bench_ext_fault_shapes.cc.o.d"
+  "bench_ext_fault_shapes"
+  "bench_ext_fault_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fault_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

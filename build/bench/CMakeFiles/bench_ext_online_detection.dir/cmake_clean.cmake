@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_online_detection.dir/bench_ext_online_detection.cc.o"
+  "CMakeFiles/bench_ext_online_detection.dir/bench_ext_online_detection.cc.o.d"
+  "bench_ext_online_detection"
+  "bench_ext_online_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_online_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_writable.dir/bench_ext_writable.cc.o"
+  "CMakeFiles/bench_ext_writable.dir/bench_ext_writable.cc.o.d"
+  "bench_ext_writable"
+  "bench_ext_writable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_writable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

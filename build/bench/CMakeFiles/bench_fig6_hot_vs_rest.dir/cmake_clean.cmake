@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hot_vs_rest.dir/bench_fig6_hot_vs_rest.cc.o"
+  "CMakeFiles/bench_fig6_hot_vs_rest.dir/bench_fig6_hot_vs_rest.cc.o.d"
+  "bench_fig6_hot_vs_rest"
+  "bench_fig6_hot_vs_rest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hot_vs_rest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

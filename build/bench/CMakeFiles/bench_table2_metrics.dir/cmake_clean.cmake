@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_metrics.dir/bench_table2_metrics.cc.o"
+  "CMakeFiles/bench_table2_metrics.dir/bench_table2_metrics.cc.o.d"
+  "bench_table2_metrics"
+  "bench_table2_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

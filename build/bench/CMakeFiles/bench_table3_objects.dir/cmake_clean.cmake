@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_objects.dir/bench_table3_objects.cc.o"
+  "CMakeFiles/bench_table3_objects.dir/bench_table3_objects.cc.o.d"
+  "bench_table3_objects"
+  "bench_table3_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

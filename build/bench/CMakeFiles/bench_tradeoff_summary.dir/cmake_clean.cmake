@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tradeoff_summary.dir/bench_tradeoff_summary.cc.o"
+  "CMakeFiles/bench_tradeoff_summary.dir/bench_tradeoff_summary.cc.o.d"
+  "bench_tradeoff_summary"
+  "bench_tradeoff_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

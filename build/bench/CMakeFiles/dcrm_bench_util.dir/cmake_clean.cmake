@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dcrm_bench_util.dir/bench_util.cc.o.d"
+  "libdcrm_bench_util.a"
+  "libdcrm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_custom_app.dir/protect_custom_app.cpp.o"
+  "CMakeFiles/protect_custom_app.dir/protect_custom_app.cpp.o.d"
+  "protect_custom_app"
+  "protect_custom_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_custom_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

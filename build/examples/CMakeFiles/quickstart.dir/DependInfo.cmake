@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/dcrm_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dcrm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dcrm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcrm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dcrm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcrm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/dcrm_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/atax.cc" "src/apps/CMakeFiles/dcrm_apps.dir/atax.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/atax.cc.o.d"
+  "/root/repo/src/apps/bicg.cc" "src/apps/CMakeFiles/dcrm_apps.dir/bicg.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/bicg.cc.o.d"
+  "/root/repo/src/apps/blackscholes.cc" "src/apps/CMakeFiles/dcrm_apps.dir/blackscholes.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/blackscholes.cc.o.d"
+  "/root/repo/src/apps/convolution.cc" "src/apps/CMakeFiles/dcrm_apps.dir/convolution.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/convolution.cc.o.d"
+  "/root/repo/src/apps/driver.cc" "src/apps/CMakeFiles/dcrm_apps.dir/driver.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/driver.cc.o.d"
+  "/root/repo/src/apps/gesummv.cc" "src/apps/CMakeFiles/dcrm_apps.dir/gesummv.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/gesummv.cc.o.d"
+  "/root/repo/src/apps/gramschmidt.cc" "src/apps/CMakeFiles/dcrm_apps.dir/gramschmidt.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/gramschmidt.cc.o.d"
+  "/root/repo/src/apps/histogram.cc" "src/apps/CMakeFiles/dcrm_apps.dir/histogram.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/histogram.cc.o.d"
+  "/root/repo/src/apps/image_filters.cc" "src/apps/CMakeFiles/dcrm_apps.dir/image_filters.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/image_filters.cc.o.d"
+  "/root/repo/src/apps/mvt.cc" "src/apps/CMakeFiles/dcrm_apps.dir/mvt.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/mvt.cc.o.d"
+  "/root/repo/src/apps/nn.cc" "src/apps/CMakeFiles/dcrm_apps.dir/nn.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/nn.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/dcrm_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/srad.cc" "src/apps/CMakeFiles/dcrm_apps.dir/srad.cc.o" "gcc" "src/apps/CMakeFiles/dcrm_apps.dir/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dcrm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dcrm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcrm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcrm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

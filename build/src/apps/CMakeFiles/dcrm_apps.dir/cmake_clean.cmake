@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_apps.dir/app.cc.o"
+  "CMakeFiles/dcrm_apps.dir/app.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/atax.cc.o"
+  "CMakeFiles/dcrm_apps.dir/atax.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/bicg.cc.o"
+  "CMakeFiles/dcrm_apps.dir/bicg.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/blackscholes.cc.o"
+  "CMakeFiles/dcrm_apps.dir/blackscholes.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/convolution.cc.o"
+  "CMakeFiles/dcrm_apps.dir/convolution.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/driver.cc.o"
+  "CMakeFiles/dcrm_apps.dir/driver.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/gesummv.cc.o"
+  "CMakeFiles/dcrm_apps.dir/gesummv.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/gramschmidt.cc.o"
+  "CMakeFiles/dcrm_apps.dir/gramschmidt.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/histogram.cc.o"
+  "CMakeFiles/dcrm_apps.dir/histogram.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/image_filters.cc.o"
+  "CMakeFiles/dcrm_apps.dir/image_filters.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/mvt.cc.o"
+  "CMakeFiles/dcrm_apps.dir/mvt.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/nn.cc.o"
+  "CMakeFiles/dcrm_apps.dir/nn.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/registry.cc.o"
+  "CMakeFiles/dcrm_apps.dir/registry.cc.o.d"
+  "CMakeFiles/dcrm_apps.dir/srad.cc.o"
+  "CMakeFiles/dcrm_apps.dir/srad.cc.o.d"
+  "libdcrm_apps.a"
+  "libdcrm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_common.dir/log.cc.o"
+  "CMakeFiles/dcrm_common.dir/log.cc.o.d"
+  "CMakeFiles/dcrm_common.dir/rng.cc.o"
+  "CMakeFiles/dcrm_common.dir/rng.cc.o.d"
+  "CMakeFiles/dcrm_common.dir/stats.cc.o"
+  "CMakeFiles/dcrm_common.dir/stats.cc.o.d"
+  "CMakeFiles/dcrm_common.dir/table.cc.o"
+  "CMakeFiles/dcrm_common.dir/table.cc.o.d"
+  "libdcrm_common.a"
+  "libdcrm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_profile.cc" "src/core/CMakeFiles/dcrm_core.dir/access_profile.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/access_profile.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/dcrm_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/hot_classifier.cc" "src/core/CMakeFiles/dcrm_core.dir/hot_classifier.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/hot_classifier.cc.o.d"
+  "/root/repo/src/core/online_detector.cc" "src/core/CMakeFiles/dcrm_core.dir/online_detector.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/online_detector.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "src/core/CMakeFiles/dcrm_core.dir/profile_io.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/core/protection.cc" "src/core/CMakeFiles/dcrm_core.dir/protection.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/protection.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/dcrm_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/dcrm_core.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dcrm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcrm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcrm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_core.dir/access_profile.cc.o"
+  "CMakeFiles/dcrm_core.dir/access_profile.cc.o.d"
+  "CMakeFiles/dcrm_core.dir/baselines.cc.o"
+  "CMakeFiles/dcrm_core.dir/baselines.cc.o.d"
+  "CMakeFiles/dcrm_core.dir/hot_classifier.cc.o"
+  "CMakeFiles/dcrm_core.dir/hot_classifier.cc.o.d"
+  "CMakeFiles/dcrm_core.dir/online_detector.cc.o"
+  "CMakeFiles/dcrm_core.dir/online_detector.cc.o.d"
+  "CMakeFiles/dcrm_core.dir/profile_io.cc.o"
+  "CMakeFiles/dcrm_core.dir/profile_io.cc.o.d"
+  "CMakeFiles/dcrm_core.dir/protection.cc.o"
+  "CMakeFiles/dcrm_core.dir/protection.cc.o.d"
+  "CMakeFiles/dcrm_core.dir/replication.cc.o"
+  "CMakeFiles/dcrm_core.dir/replication.cc.o.d"
+  "libdcrm_core.a"
+  "libdcrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

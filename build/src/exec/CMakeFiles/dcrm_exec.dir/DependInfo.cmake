@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/data_plane.cc" "src/exec/CMakeFiles/dcrm_exec.dir/data_plane.cc.o" "gcc" "src/exec/CMakeFiles/dcrm_exec.dir/data_plane.cc.o.d"
+  "/root/repo/src/exec/launcher.cc" "src/exec/CMakeFiles/dcrm_exec.dir/launcher.cc.o" "gcc" "src/exec/CMakeFiles/dcrm_exec.dir/launcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/dcrm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_exec.dir/data_plane.cc.o"
+  "CMakeFiles/dcrm_exec.dir/data_plane.cc.o.d"
+  "CMakeFiles/dcrm_exec.dir/launcher.cc.o"
+  "CMakeFiles/dcrm_exec.dir/launcher.cc.o.d"
+  "libdcrm_exec.a"
+  "libdcrm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

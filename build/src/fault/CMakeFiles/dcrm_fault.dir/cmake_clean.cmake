@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_fault.dir/campaign.cc.o"
+  "CMakeFiles/dcrm_fault.dir/campaign.cc.o.d"
+  "CMakeFiles/dcrm_fault.dir/fault_shapes.cc.o"
+  "CMakeFiles/dcrm_fault.dir/fault_shapes.cc.o.d"
+  "libdcrm_fault.a"
+  "libdcrm_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

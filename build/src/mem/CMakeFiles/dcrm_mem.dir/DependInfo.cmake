@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/dcrm_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/dcrm_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/device_memory.cc" "src/mem/CMakeFiles/dcrm_mem.dir/device_memory.cc.o" "gcc" "src/mem/CMakeFiles/dcrm_mem.dir/device_memory.cc.o.d"
+  "/root/repo/src/mem/fault_model.cc" "src/mem/CMakeFiles/dcrm_mem.dir/fault_model.cc.o" "gcc" "src/mem/CMakeFiles/dcrm_mem.dir/fault_model.cc.o.d"
+  "/root/repo/src/mem/secded.cc" "src/mem/CMakeFiles/dcrm_mem.dir/secded.cc.o" "gcc" "src/mem/CMakeFiles/dcrm_mem.dir/secded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcrm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

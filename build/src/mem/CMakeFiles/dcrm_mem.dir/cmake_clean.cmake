@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_mem.dir/address_space.cc.o"
+  "CMakeFiles/dcrm_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/dcrm_mem.dir/device_memory.cc.o"
+  "CMakeFiles/dcrm_mem.dir/device_memory.cc.o.d"
+  "CMakeFiles/dcrm_mem.dir/fault_model.cc.o"
+  "CMakeFiles/dcrm_mem.dir/fault_model.cc.o.d"
+  "CMakeFiles/dcrm_mem.dir/secded.cc.o"
+  "CMakeFiles/dcrm_mem.dir/secded.cc.o.d"
+  "libdcrm_mem.a"
+  "libdcrm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

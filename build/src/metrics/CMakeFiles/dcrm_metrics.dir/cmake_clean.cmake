@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_metrics.dir/error_metric.cc.o"
+  "CMakeFiles/dcrm_metrics.dir/error_metric.cc.o.d"
+  "libdcrm_metrics.a"
+  "libdcrm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_io.cc" "src/sim/CMakeFiles/dcrm_sim.dir/config_io.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/config_io.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/dcrm_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/dcrm_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/interconnect.cc" "src/sim/CMakeFiles/dcrm_sim.dir/interconnect.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/interconnect.cc.o.d"
+  "/root/repo/src/sim/partition.cc" "src/sim/CMakeFiles/dcrm_sim.dir/partition.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/partition.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/dcrm_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/sm.cc.o.d"
+  "/root/repo/src/sim/tag_array.cc" "src/sim/CMakeFiles/dcrm_sim.dir/tag_array.cc.o" "gcc" "src/sim/CMakeFiles/dcrm_sim.dir/tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dcrm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcrm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dcrm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dcrm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

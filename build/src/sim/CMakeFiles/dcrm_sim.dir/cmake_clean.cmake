@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_sim.dir/config_io.cc.o"
+  "CMakeFiles/dcrm_sim.dir/config_io.cc.o.d"
+  "CMakeFiles/dcrm_sim.dir/dram.cc.o"
+  "CMakeFiles/dcrm_sim.dir/dram.cc.o.d"
+  "CMakeFiles/dcrm_sim.dir/gpu.cc.o"
+  "CMakeFiles/dcrm_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/dcrm_sim.dir/interconnect.cc.o"
+  "CMakeFiles/dcrm_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/dcrm_sim.dir/partition.cc.o"
+  "CMakeFiles/dcrm_sim.dir/partition.cc.o.d"
+  "CMakeFiles/dcrm_sim.dir/sm.cc.o"
+  "CMakeFiles/dcrm_sim.dir/sm.cc.o.d"
+  "CMakeFiles/dcrm_sim.dir/tag_array.cc.o"
+  "CMakeFiles/dcrm_sim.dir/tag_array.cc.o.d"
+  "libdcrm_sim.a"
+  "libdcrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

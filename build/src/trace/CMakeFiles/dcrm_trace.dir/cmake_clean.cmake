@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm_trace.dir/trace.cc.o"
+  "CMakeFiles/dcrm_trace.dir/trace.cc.o.d"
+  "CMakeFiles/dcrm_trace.dir/trace_builder.cc.o"
+  "CMakeFiles/dcrm_trace.dir/trace_builder.cc.o.d"
+  "libdcrm_trace.a"
+  "libdcrm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

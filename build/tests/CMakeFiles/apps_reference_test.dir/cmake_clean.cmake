@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_reference_test.dir/apps_reference_test.cc.o"
+  "CMakeFiles/apps_reference_test.dir/apps_reference_test.cc.o.d"
+  "apps_reference_test"
+  "apps_reference_test.pdb"
+  "apps_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

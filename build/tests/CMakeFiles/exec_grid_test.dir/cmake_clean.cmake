@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_grid_test.dir/exec_grid_test.cc.o"
+  "CMakeFiles/exec_grid_test.dir/exec_grid_test.cc.o.d"
+  "exec_grid_test"
+  "exec_grid_test.pdb"
+  "exec_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

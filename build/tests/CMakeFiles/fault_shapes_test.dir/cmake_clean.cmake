@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_shapes_test.dir/fault_shapes_test.cc.o"
+  "CMakeFiles/fault_shapes_test.dir/fault_shapes_test.cc.o.d"
+  "fault_shapes_test"
+  "fault_shapes_test.pdb"
+  "fault_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

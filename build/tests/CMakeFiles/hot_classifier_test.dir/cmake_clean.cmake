@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_classifier_test.dir/hot_classifier_test.cc.o"
+  "CMakeFiles/hot_classifier_test.dir/hot_classifier_test.cc.o.d"
+  "hot_classifier_test"
+  "hot_classifier_test.pdb"
+  "hot_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

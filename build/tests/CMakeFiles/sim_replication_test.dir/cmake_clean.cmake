@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_replication_test.dir/sim_replication_test.cc.o"
+  "CMakeFiles/sim_replication_test.dir/sim_replication_test.cc.o.d"
+  "sim_replication_test"
+  "sim_replication_test.pdb"
+  "sim_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writable_protection_test.dir/writable_protection_test.cc.o"
+  "CMakeFiles/writable_protection_test.dir/writable_protection_test.cc.o.d"
+  "writable_protection_test"
+  "writable_protection_test.pdb"
+  "writable_protection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writable_protection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/secded_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_replication_test[1]_include.cmake")
+include("/root/repo/build/tests/hot_classifier_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_io_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/writable_protection_test[1]_include.cmake")
+include("/root/repo/build/tests/config_io_test[1]_include.cmake")

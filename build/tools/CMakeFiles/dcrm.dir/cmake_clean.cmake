@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcrm.dir/dcrm_cli.cc.o"
+  "CMakeFiles/dcrm.dir/dcrm_cli.cc.o.d"
+  "dcrm"
+  "dcrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
