@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/recovery.h"
+
 namespace dcrm::core {
 
 void ProtectedDataPlane::Load(Pc pc, Addr addr, void* out,
@@ -13,36 +15,48 @@ void ProtectedDataPlane::Load(Pc pc, Addr addr, void* out,
       plan_.PcTracked(pc) ? plan_.Lookup(addr) : nullptr;
   if (range == nullptr) return;
 
+  const unsigned copies = plan_.CopiesFor(*range);
+  if (copies == 0) return;
+
   std::uint8_t copy0[16];
   std::uint8_t copy1[16];
   if (size > sizeof(copy0)) {
     throw std::invalid_argument("protected load wider than 16 bytes");
   }
-  switch (plan_.scheme) {
-    case sim::Scheme::kNone:
-      return;
-    case sim::Scheme::kDetectOnly: {
-      dev_->ReadBytes(range->ReplicaAddr(0, addr), copy0, size);
-      if (std::memcmp(bytes, copy0, size) != 0) {
-        ++detections_;
-        throw DetectionTerminated(pc, addr);
+  dev_->ReadBytes(range->ReplicaAddr(0, addr), copy0, size);
+  if (copies == 1) {
+    if (std::memcmp(bytes, copy0, size) != 0) {
+      // Tier 0: before terminating, let the recovery manager try to
+      // arbitrate the mismatch (per-copy SECDED probe). On success the
+      // winning value is already in `bytes` and scrubbed back.
+      if (recovery_ != nullptr &&
+          recovery_->ArbitrateMismatch(addr, *range, bytes, copy0, size)) {
+        return;
       }
-      return;
+      ++detections_;
+      throw DetectionTerminated(pc, addr);
     }
-    case sim::Scheme::kDetectCorrect: {
-      dev_->ReadBytes(range->ReplicaAddr(0, addr), copy0, size);
-      dev_->ReadBytes(range->ReplicaAddr(1, addr), copy1, size);
-      bool corrected = false;
-      for (std::uint32_t i = 0; i < size; ++i) {
-        const std::uint8_t voted =
-            static_cast<std::uint8_t>((bytes[i] & copy0[i]) |
-                                      (bytes[i] & copy1[i]) |
-                                      (copy0[i] & copy1[i]));
-        if (voted != bytes[i]) corrected = true;
-        bytes[i] = voted;
-      }
-      if (corrected) ++corrections_;
-      return;
+    return;
+  }
+  // Majority vote over the primary and two replicas — the scheme's
+  // triplication, or a detect-only range escalated by Tier 2.
+  dev_->ReadBytes(range->ReplicaAddr(1, addr), copy1, size);
+  bool corrected = false;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const std::uint8_t voted =
+        static_cast<std::uint8_t>((bytes[i] & copy0[i]) |
+                                  (bytes[i] & copy1[i]) |
+                                  (copy0[i] & copy1[i]));
+    if (voted != bytes[i]) corrected = true;
+    bytes[i] = voted;
+  }
+  if (corrected) {
+    ++corrections_;
+    if (recovery_ != nullptr) {
+      recovery_->OnVoteCorrected(addr, bytes, size,
+                                 /*escalated_range=*/range->copies != 0 &&
+                                     plan_.scheme ==
+                                         sim::Scheme::kDetectOnly);
     }
   }
 }
@@ -52,14 +66,13 @@ void ProtectedDataPlane::Store(Pc pc, Addr addr, const void* in,
   if (!dev_->space().ValidRange(addr, size)) {
     throw std::out_of_range("store out of range");
   }
-  std::memcpy(dev_->space().Data() + addr, in, size);
+  dev_->WriteBytes(addr, in, size);
   if (!plan_.propagate_stores || !plan_.PcTracked(pc)) return;
   if (const sim::ProtectedRange* range = plan_.Lookup(addr)) {
     // Writable-object extension: keep every copy coherent so later
     // votes/compares see the new value, not a stale one.
-    for (unsigned c = 0; c < plan_.NumCopies(); ++c) {
-      std::memcpy(dev_->space().Data() + range->ReplicaAddr(c, addr), in,
-                  size);
+    for (unsigned c = 0; c < plan_.CopiesFor(*range); ++c) {
+      dev_->WriteBytes(range->ReplicaAddr(c, addr), in, size);
     }
   }
 }

@@ -19,6 +19,8 @@
 
 namespace dcrm::core {
 
+class RecoveryManager;
+
 class DetectionTerminated : public std::runtime_error {
  public:
   DetectionTerminated(Pc pc, Addr addr)
@@ -42,12 +44,21 @@ class ProtectedDataPlane final : public exec::DataPlane {
   void Store(Pc pc, Addr addr, const void* in, std::uint32_t size) override;
 
   const sim::ProtectionPlan& plan() const { return plan_; }
+  // Mutable access for the recovery subsystem's Tier-2 escalation
+  // (upgrading a repeat-offender range to a second replica).
+  sim::ProtectionPlan& mutable_plan() { return plan_; }
   std::uint64_t detections() const { return detections_; }
   std::uint64_t corrections() const { return corrections_; }
+
+  // Wires the detect-to-recover pipeline in: mismatches are offered to
+  // the manager for arbitration before terminating, and majority-vote
+  // corrections are reported for Tier-0 scrubbing.
+  void AttachRecovery(RecoveryManager* rm) { recovery_ = rm; }
 
  private:
   mem::DeviceMemory* dev_;
   sim::ProtectionPlan plan_;
+  RecoveryManager* recovery_ = nullptr;
   std::uint64_t detections_ = 0;
   std::uint64_t corrections_ = 0;
 };

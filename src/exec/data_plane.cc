@@ -9,7 +9,8 @@ void DirectDataPlane::Store(Pc, Addr addr, const void* in,
   if (!dev_->space().ValidRange(addr, size)) {
     throw std::out_of_range("store out of range");
   }
-  std::memcpy(dev_->space().Data() + addr, in, size);
+  // Through WriteBytes so stores to retired blocks land in the spare.
+  dev_->WriteBytes(addr, in, size);
 }
 
 }  // namespace dcrm::exec

@@ -177,12 +177,19 @@ std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
   return chosen;
 }
 
+void FaultCampaign::EnableRecovery(const core::RecoveryConfig& cfg) {
+  recovery_ = std::make_unique<core::RecoveryManager>(dev_, cfg);
+  recovery_->SetSnapshot(snapshot_);
+  if (protected_plane_) {
+    recovery_->AttachPlane(protected_plane_.get());
+    protected_plane_->AttachRecovery(recovery_.get());
+  }
+}
+
 Outcome FaultCampaign::RunOnce(const std::vector<mem::StuckAtFault>& faults) {
-  // Restore the pristine store (inputs, zeroed outputs, replicas).
-  std::memcpy(dev_.space().Data(), snapshot_.data(), snapshot_.size());
   dev_.faults().Clear();
-  dev_.ResetEccCounters();
   for (const auto& f : faults) dev_.faults().Add(f);
+  if (recovery_) recovery_->BeginRun();
 
   exec::DirectDataPlane direct(dev_);
   exec::DataPlane& plane =
@@ -190,25 +197,44 @@ Outcome FaultCampaign::RunOnce(const std::vector<mem::StuckAtFault>& faults) {
                        : direct;
   const std::uint64_t corrections_before =
       protected_plane_ ? protected_plane_->corrections() : 0;
-  try {
-    apps::RunKernels(*app_, plane, nullptr);
-    const std::vector<float> observed = ReadObservedOutputs();
-    last_corrections_ =
-        (protected_plane_ ? protected_plane_->corrections() : 0) -
-        corrections_before;
-    const double err = app_->OutputError(profile_->golden, observed);
-    return err > app_->SdcThreshold() ? Outcome::kSdc : Outcome::kMasked;
-  } catch (const core::DetectionTerminated&) {
-    return Outcome::kDetected;
-  } catch (const mem::DueError&) {
-    return Outcome::kDue;
-  } catch (const std::out_of_range&) {
-    return Outcome::kCrash;
+  // With recovery enabled, each iteration is one bounded re-execution
+  // attempt from the pristine snapshot; without it, the loop runs once
+  // and reproduces the paper's detect-and-die behaviour.
+  for (;;) {
+    // Restore the pristine store (inputs, zeroed outputs, replicas).
+    std::memcpy(dev_.space().Data(), snapshot_.data(), snapshot_.size());
+    if (recovery_) recovery_->RefreshRetiredFromSnapshot();
+    dev_.ResetEccCounters();
+    try {
+      apps::RunKernels(*app_, plane, nullptr);
+      const std::vector<float> observed = ReadObservedOutputs();
+      last_corrections_ =
+          (protected_plane_ ? protected_plane_->corrections() : 0) -
+          corrections_before;
+      const double err = app_->OutputError(profile_->golden, observed);
+      if (err > app_->SdcThreshold()) return Outcome::kSdc;
+      return recovery_ && recovery_->RunUsedRecovery() ? Outcome::kRecovered
+                                                       : Outcome::kMasked;
+    } catch (const core::DetectionTerminated& e) {
+      if (recovery_ && recovery_->OnRunFailure(e.addr())) continue;
+      return Outcome::kDetected;
+    } catch (const mem::DueError& e) {
+      if (recovery_ && recovery_->OnRunFailure(e.addr())) continue;
+      return Outcome::kDue;
+    } catch (const std::out_of_range&) {
+      // No fault address to retire: a corrupted index escaped the
+      // address space. Terminal even with recovery enabled.
+      return Outcome::kCrash;
+    }
   }
 }
 
 CampaignCounts FaultCampaign::Run(const CampaignConfig& cfg) {
   CampaignCounts counts;
+  if (cfg.recovery.enabled && !recovery_) EnableRecovery(cfg.recovery);
+  // The manager accumulates across Run calls; report this Run's delta.
+  const core::RecoveryStats before =
+      recovery_ ? recovery_->stats() : core::RecoveryStats{};
   Rng rng(cfg.seed);
   for (unsigned r = 0; r < cfg.runs; ++r) {
     const auto blocks = SelectBlocks(cfg.target, cfg.faulty_blocks, rng);
@@ -261,7 +287,23 @@ CampaignCounts FaultCampaign::Run(const CampaignConfig& cfg) {
       case Outcome::kCrash:
         ++counts.crash;
         break;
+      case Outcome::kRecovered:
+        ++counts.recovered;
+        break;
     }
+  }
+  if (recovery_) {
+    const core::RecoveryStats& after = recovery_->stats();
+    counts.recovery.scrubs = after.scrubs - before.scrubs;
+    counts.recovery.scrub_sticks = after.scrub_sticks - before.scrub_sticks;
+    counts.recovery.arbitrations = after.arbitrations - before.arbitrations;
+    counts.recovery.retired_blocks =
+        after.retired_blocks - before.retired_blocks;
+    counts.recovery.retries = after.retries - before.retries;
+    counts.recovery.backoff_units = after.backoff_units - before.backoff_units;
+    counts.recovery.escalations = after.escalations - before.escalations;
+    counts.recovery.exhausted_runs =
+        after.exhausted_runs - before.exhausted_runs;
   }
   return counts;
 }

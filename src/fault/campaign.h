@@ -17,18 +17,39 @@
 #include "apps/driver.h"
 #include "common/stats.h"
 #include "core/protection.h"
+#include "core/recovery.h"
 #include "core/replication.h"
 #include "sim/replication.h"
 
 namespace dcrm::fault {
 
 enum class Outcome : std::uint8_t {
-  kMasked,    // output identical (within the app's metric threshold)
-  kSdc,       // silent data corruption: output differs, nothing noticed
-  kDetected,  // detection scheme raised the terminate signal
-  kDue,       // SECDED raised a detected uncorrectable error
-  kCrash,     // faulted index arithmetic left the address space
+  kMasked,     // output identical (within the app's metric threshold)
+  kSdc,        // silent data corruption: output differs, nothing noticed
+  kDetected,   // detection raised terminate and recovery was off/exhausted
+  kDue,        // SECDED DUE and recovery was off/exhausted
+  kCrash,      // faulted index arithmetic left the address space
+  kRecovered,  // completed correctly only through recovery actions
+               // (arbitration, escalated vote, or re-execution)
 };
+
+inline const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kMasked:
+      return "masked";
+    case Outcome::kSdc:
+      return "sdc";
+    case Outcome::kDetected:
+      return "detected";
+    case Outcome::kDue:
+      return "due";
+    case Outcome::kCrash:
+      return "crash";
+    case Outcome::kRecovered:
+      return "recovered";
+  }
+  return "?";
+}
 
 enum class Target : std::uint8_t { kHotBlocks, kRestBlocks, kMissWeighted };
 
@@ -44,6 +65,9 @@ struct CampaignConfig {
   unsigned bits_per_block = 2;  // 2, 3 or 4 in the paper (kWordBits)
   unsigned runs = 1000;
   std::uint64_t seed = 1;
+  // Detect-to-recover pipeline (core/recovery.h). Disabled by default:
+  // the paper's detect-and-die behaviour.
+  core::RecoveryConfig recovery;
 };
 
 struct CampaignCounts {
@@ -53,7 +77,11 @@ struct CampaignCounts {
   unsigned detected = 0;
   unsigned due = 0;
   unsigned crash = 0;
+  unsigned recovered = 0;
   std::uint64_t corrections = 0;  // majority-vote fixes performed
+  // Per-tier recovery work done during this Run call (all zero when
+  // recovery is disabled).
+  core::RecoveryStats recovery;
 
   ProportionCi SdcCi(double confidence = 0.95) const {
     return BinomialCi(sdc, runs, confidence);
@@ -86,7 +114,18 @@ class FaultCampaign {
   CampaignCounts Run(const CampaignConfig& cfg);
 
   // Runs once with the given pre-selected faults (exposed for tests).
+  // With recovery enabled this is the full tiered pipeline: scrub /
+  // arbitrate in place, retire + re-execute up to the retry budget,
+  // escalate repeat offenders.
   Outcome RunOnce(const std::vector<mem::StuckAtFault>& faults);
+
+  // Turns on the detect-to-recover pipeline for subsequent runs.
+  // Offense counts and escalations persist across runs of this
+  // campaign (the repeat-offender memory). Run() calls this
+  // automatically when cfg.recovery.enabled is set.
+  void EnableRecovery(const core::RecoveryConfig& cfg);
+
+  const core::RecoveryManager* recovery() const { return recovery_.get(); }
 
   const sim::ProtectionPlan& plan() const { return plan_; }
 
@@ -101,6 +140,7 @@ class FaultCampaign {
   mem::DeviceMemory dev_;
   sim::ProtectionPlan plan_;
   std::unique_ptr<core::ProtectedDataPlane> protected_plane_;
+  std::unique_ptr<core::RecoveryManager> recovery_;
   std::vector<std::byte> snapshot_;
   core::BlockSplit split_;  // hot / rest block lists
   // Miss-weighted sampling support.

@@ -1,6 +1,17 @@
 #include "mem/device_memory.h"
 
+#include <algorithm>
+
 namespace dcrm::mem {
+
+void BlockRemapTable::Map(std::uint64_t from_block, std::uint64_t to_block) {
+  if (from_block == to_block) {
+    throw std::invalid_argument("cannot remap a block onto itself");
+  }
+  if (!map_.emplace(from_block, to_block).second) {
+    throw std::invalid_argument("block is already retired");
+  }
+}
 
 void DeviceMemory::ReadGolden(Addr a, std::uint8_t* out,
                               std::uint64_t n) const {
@@ -41,15 +52,16 @@ std::uint64_t DeviceMemory::ReadWordSecded(Addr word_base) const {
   return r.data;  // unreachable
 }
 
-void DeviceMemory::ReadBytes(Addr a, std::uint8_t* out,
-                             std::uint64_t n) const {
-  CheckRange(a, n);
+void DeviceMemory::ReadBytesPhys(Addr a, std::uint8_t* out,
+                                 std::uint64_t n) const {
   if (ecc_mode_ == EccMode::kNone || faults_.Empty()) {
     std::memcpy(out, space_.Data() + a, n);
     faults_.Apply(a, out, n);
     return;
   }
-  // SECDED path: process the covering 8-byte-aligned words.
+  // SECDED path: process the covering 8-byte-aligned words. Retirement
+  // remaps whole 128B blocks, so 8-byte alignment survives translation
+  // and the physical word base addresses the logical word's cells.
   std::uint64_t i = 0;
   while (i < n) {
     const Addr cur = a + i;
@@ -61,6 +73,73 @@ void DeviceMemory::ReadBytes(Addr a, std::uint8_t* out,
                 take);
     i += take;
   }
+}
+
+void DeviceMemory::ReadBytes(Addr a, std::uint8_t* out,
+                             std::uint64_t n) const {
+  CheckRange(a, n);
+  if (retired_.Empty()) {
+    ReadBytesPhys(a, out, n);
+    return;
+  }
+  // Translate block-granular segments through the retirement table.
+  std::uint64_t i = 0;
+  while (i < n) {
+    const Addr cur = a + i;
+    const std::uint64_t take = std::min<std::uint64_t>(
+        n - i, (cur / kBlockSize + 1) * kBlockSize - cur);
+    ReadBytesPhys(retired_.Translate(cur), out + i, take);
+    i += take;
+  }
+}
+
+void DeviceMemory::WriteBytes(Addr a, const void* in, std::uint64_t n) {
+  CheckRange(a, n);
+  const auto* src = static_cast<const std::uint8_t*>(in);
+  if (retired_.Empty()) {
+    std::memcpy(space_.Data() + a, src, n);
+    return;
+  }
+  std::uint64_t i = 0;
+  while (i < n) {
+    const Addr cur = a + i;
+    const std::uint64_t take = std::min<std::uint64_t>(
+        n - i, (cur / kBlockSize + 1) * kBlockSize - cur);
+    std::memcpy(space_.Data() + retired_.Translate(cur), src + i, take);
+    i += take;
+  }
+}
+
+EccStatus DeviceMemory::SecdedProbe(Addr a, std::uint64_t n) const {
+  CheckRange(a, n);
+  EccStatus worst = EccStatus::kOk;
+  auto rank = [](EccStatus s) {
+    switch (s) {
+      case EccStatus::kOk:
+        return 0;
+      case EccStatus::kCorrectedSingle:
+        return 1;
+      case EccStatus::kDetectedDouble:
+      case EccStatus::kDetectedInvalid:
+        return 2;
+    }
+    return 2;
+  };
+  const Addr first = a & ~Addr{7};
+  for (Addr word_base = first; word_base < a + n; word_base += 8) {
+    const Addr phys = Translate(word_base);
+    std::uint64_t golden;
+    std::memcpy(&golden, space_.Data() + phys, 8);
+    std::uint64_t faulty = golden;
+    faults_.Apply(phys, reinterpret_cast<std::uint8_t*>(&faulty), 8);
+    if (faulty == golden) continue;
+    EccWord w;
+    w.data = faulty;
+    w.check = Secded72::Encode(golden).check;
+    const EccStatus s = Secded72::Decode(w).status;
+    if (rank(s) > rank(worst)) worst = s;
+  }
+  return worst;
 }
 
 }  // namespace dcrm::mem

@@ -11,12 +11,43 @@
 #include <cstring>
 #include <stdexcept>
 #include <type_traits>
+#include <unordered_map>
 
 #include "mem/address_space.h"
 #include "mem/fault_model.h"
 #include "mem/secded.h"
 
 namespace dcrm::mem {
+
+// Quarantine table for faulty-block retirement (the recovery
+// subsystem's Tier 1): a retired 128B physical block is remapped to a
+// spare block, so accesses — and, crucially, the stuck-at fault map,
+// which is keyed by physical address — land on healthy cells. Mirrors
+// the row/page-retirement machinery of production HBM/GDDR stacks.
+class BlockRemapTable {
+ public:
+  bool Empty() const { return map_.empty(); }
+  std::size_t Size() const { return map_.size(); }
+  bool Contains(std::uint64_t block) const { return map_.contains(block); }
+  void Map(std::uint64_t from_block, std::uint64_t to_block);
+  void Clear() { map_.clear(); }
+
+  // Translates a byte address through the table (identity when the
+  // owning block is not retired). Block-granular: offsets within the
+  // 128B block are preserved.
+  Addr Translate(Addr a) const {
+    const auto it = map_.find(a / kBlockSize);
+    if (it == map_.end()) return a;
+    return it->second * kBlockSize + a % kBlockSize;
+  }
+
+  const std::unordered_map<std::uint64_t, std::uint64_t>& Entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
 
 enum class EccMode : std::uint8_t { kNone, kSecded };
 
@@ -70,9 +101,12 @@ class DeviceMemory {
   template <typename T>
   void Write(Addr a, const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    CheckRange(a, sizeof(T));
-    std::memcpy(space_.Data() + a, &v, sizeof(T));
+    WriteBytes(a, &v, sizeof(T));
   }
+
+  // Writes bytes through the retirement remap (the data-plane store
+  // path): writes to a retired block land in its spare.
+  void WriteBytes(Addr a, const void* in, std::uint64_t n);
 
   // Reads bytes applying faults/ECC. Public so block-granular consumers
   // (replica comparison, metrics) share one code path.
@@ -90,17 +124,41 @@ class DeviceMemory {
     return out;
   }
 
+  // Retirement table (Tier-1 recovery). Reads, writes and the fault
+  // map all see addresses through this remap.
+  BlockRemapTable& retired() { return retired_; }
+  const BlockRemapTable& retired() const { return retired_; }
+
+  // Physical address after retirement remapping (identity when the
+  // block is healthy).
+  Addr Translate(Addr a) const {
+    return retired_.Empty() ? a : retired_.Translate(a);
+  }
+
+  // Out-of-band maintenance probe: decodes the SECDED words covering
+  // [a, a+n) exactly as the ECC pipeline would and reports the worst
+  // status, without throwing or touching the ECC counters. The
+  // recovery subsystem uses it to arbitrate which copy of a
+  // mismatching duplicated value sits on bad cells; it works in any
+  // EccMode (a scrub engine can always recompute the code).
+  EccStatus SecdedProbe(Addr a, std::uint64_t n) const;
+
  private:
   void CheckRange(Addr a, std::uint64_t n) const {
     if (!space_.ValidRange(a, n)) {
       throw std::out_of_range("device memory access out of range");
     }
   }
-  // Reads one 8-byte-aligned word through the SECDED model.
+  // Reads bytes at a physical (already remapped) address.
+  void ReadBytesPhys(Addr a, std::uint8_t* out, std::uint64_t n) const;
+  // Reads one 8-byte-aligned word through the SECDED model. DueError
+  // carries the word's physical address; for a healthy (non-retired)
+  // block this equals the logical address handlers retire.
   std::uint64_t ReadWordSecded(Addr word_base) const;
 
   AddressSpace space_;
   FaultMap faults_;
+  BlockRemapTable retired_;
   EccMode ecc_mode_ = EccMode::kNone;
   mutable EccCounters ecc_counters_;
 };

@@ -74,6 +74,12 @@ struct GpuConfig {
   std::uint32_t compare_queue_entries = 32;      // lazy-compare buffer
   std::uint32_t comparator_bytes_per_cycle = 32; // 256-bit comparator
 
+  // Recovery subsystem (detection-to-recovery extension): base penalty
+  // charged before re-execution attempt k, scaled by 2^(k-1) — the
+  // exponential backoff that drains in-flight traffic and reprograms
+  // the retirement/remap tables before the kernel is relaunched.
+  std::uint32_t recovery_backoff_cycles = 600;
+
   std::uint32_t L1Sets() const {
     return l1_size_bytes / kBlockSize / l1_ways;
   }

@@ -61,6 +61,7 @@ const std::map<std::string, Setter>& Setters() {
       DCRM_U32_KEY(pc_table_entries),
       DCRM_U32_KEY(compare_queue_entries),
       DCRM_U32_KEY(comparator_bytes_per_cycle),
+      DCRM_U32_KEY(recovery_backoff_cycles),
 #undef DCRM_U32_KEY
       {"sched_policy",
        [](GpuConfig& c, const std::string& v) {
@@ -164,6 +165,7 @@ std::string DumpGpuConfig(const GpuConfig& c) {
   DCRM_EMIT(pc_table_entries);
   DCRM_EMIT(compare_queue_entries);
   DCRM_EMIT(comparator_bytes_per_cycle);
+  DCRM_EMIT(recovery_backoff_cycles);
 #undef DCRM_EMIT
   os << "sched_policy = "
      << (c.sched_policy == SchedPolicy::kGto ? "gto" : "lrr") << '\n';

@@ -36,6 +36,10 @@ struct ProtectedRange {
   Addr base = 0;
   std::uint64_t size = 0;
   Addr replica_base[2] = {0, 0};  // second entry used by kDetectCorrect
+  // Per-range copy-count override (0 = the scheme's default). The
+  // recovery subsystem's Tier 2 sets this to 2 when it escalates a
+  // repeat-offender object from detect-only to a full majority vote.
+  std::uint8_t copies = 0;
 
   bool Contains(Addr a) const { return a >= base && a < base + size; }
   Addr ReplicaAddr(unsigned copy, Addr a) const {
@@ -71,6 +75,12 @@ struct ProtectionPlan {
         return 2;
     }
     return 0;
+  }
+
+  // Copies actually held for one range: the per-range escalation
+  // override when set, else the scheme default.
+  unsigned CopiesFor(const ProtectedRange& r) const {
+    return r.copies != 0 ? r.copies : NumCopies();
   }
 
   const ProtectedRange* Lookup(Addr a) const {

@@ -94,8 +94,54 @@ TEST_F(BicgCampaign, CampaignCountsAreConsistent) {
   const auto counts = c.Run(cfg);
   EXPECT_EQ(counts.runs, 30u);
   EXPECT_EQ(counts.masked + counts.sdc + counts.detected + counts.due +
-                counts.crash,
+                counts.crash + counts.recovered,
             30u);
+}
+
+TEST_F(BicgCampaign, ZeroRunsYieldEmptyCounts) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kNone, 0);
+  CampaignConfig cfg;
+  cfg.runs = 0;
+  const auto counts = c.Run(cfg);
+  EXPECT_EQ(counts.runs, 0u);
+  EXPECT_EQ(counts.masked + counts.sdc + counts.detected + counts.due +
+                counts.crash + counts.recovered,
+            0u);
+  EXPECT_EQ(counts.corrections, 0u);
+}
+
+TEST_F(BicgCampaign, FaultyBlocksClampedToPopulation) {
+  // Requesting more faulty blocks than the target set holds injects
+  // into all of it instead of throwing or spinning.
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kNone, 0);
+  CampaignConfig cfg;
+  cfg.target = Target::kHotBlocks;
+  cfg.faulty_blocks = 1000000;
+  cfg.bits_per_block = 1;
+  cfg.runs = 2;
+  cfg.seed = 3;
+  const auto counts = c.Run(cfg);
+  EXPECT_EQ(counts.runs, 2u);
+}
+
+TEST_F(BicgCampaign, DeterministicAcrossCampaignInstances) {
+  // Two independently constructed campaigns with the same seed must
+  // produce identical classifications, not merely the same instance
+  // re-run (fresh Rng, fresh device, fresh snapshot).
+  CampaignConfig cfg;
+  cfg.target = Target::kMissWeighted;
+  cfg.runs = 15;
+  cfg.seed = 42;
+  FaultCampaign a(*app_, *profile_, sim::Scheme::kNone, 0);
+  FaultCampaign b(*app_, *profile_, sim::Scheme::kNone, 0);
+  const auto ca = a.Run(cfg);
+  const auto cb = b.Run(cfg);
+  EXPECT_EQ(ca.masked, cb.masked);
+  EXPECT_EQ(ca.sdc, cb.sdc);
+  EXPECT_EQ(ca.detected, cb.detected);
+  EXPECT_EQ(ca.due, cb.due);
+  EXPECT_EQ(ca.crash, cb.crash);
+  EXPECT_EQ(ca.corrections, cb.corrections);
 }
 
 TEST_F(BicgCampaign, HotTargetProducesMoreSdcThanRest) {

@@ -56,6 +56,54 @@ TEST(AddressSpace, RawAllocationsNotListed) {
   EXPECT_EQ(sp.TotalObjectBytes(), 4u);
 }
 
+TEST(BlockRemapTable, TranslatePreservesOffsets) {
+  BlockRemapTable t;
+  EXPECT_TRUE(t.Empty());
+  t.Map(2, 7);
+  EXPECT_TRUE(t.Contains(2));
+  EXPECT_EQ(t.Translate(2 * kBlockSize + 5), 7 * kBlockSize + 5);
+  EXPECT_EQ(t.Translate(3 * kBlockSize + 5), 3 * kBlockSize + 5);
+  t.Clear();
+  EXPECT_TRUE(t.Empty());
+  EXPECT_EQ(t.Translate(2 * kBlockSize), 2 * kBlockSize);
+}
+
+TEST(BlockRemapTable, RejectsSelfAndDuplicateMapping) {
+  BlockRemapTable t;
+  EXPECT_THROW(t.Map(1, 1), std::invalid_argument);
+  t.Map(1, 2);
+  EXPECT_THROW(t.Map(1, 3), std::invalid_argument);
+}
+
+TEST(DeviceMemory, RetiredBlockEscapesStuckFault) {
+  DeviceMemory dev;
+  dev.space().Allocate("x", 64, false);
+  dev.Write<float>(0, 1.0f);
+  // Stuck bit inside 1.0f's exponent byte: reads come back corrupted.
+  dev.faults().Add({.byte_addr = 2, .bit = 5, .stuck_value = true});
+  EXPECT_NE(dev.Read<float>(0), 1.0f);
+  // Retire block 0 to a spare: the fault map is keyed by physical
+  // address, so remapped accesses land on healthy cells.
+  const Addr spare = dev.space().AllocateRaw(kBlockSize);
+  dev.retired().Map(0, spare / kBlockSize);
+  dev.Write<float>(0, 1.0f);
+  EXPECT_EQ(dev.Read<float>(0), 1.0f);
+  EXPECT_EQ(dev.Translate(2), spare + 2);
+}
+
+TEST(DeviceMemory, SecdedProbeRanksFaultSeverity) {
+  DeviceMemory dev;  // EccMode::kNone — the probe is out-of-band
+  dev.space().Allocate("x", 64, false);
+  dev.Write<std::uint64_t>(0, 0);
+  EXPECT_EQ(dev.SecdedProbe(0, 8), EccStatus::kOk);
+  dev.faults().Add({.byte_addr = 0, .bit = 0, .stuck_value = true});
+  EXPECT_EQ(dev.SecdedProbe(0, 8), EccStatus::kCorrectedSingle);
+  dev.faults().Add({.byte_addr = 1, .bit = 1, .stuck_value = true});
+  EXPECT_EQ(dev.SecdedProbe(0, 8), EccStatus::kDetectedDouble);
+  // The probe never throws and never touches the ECC counters.
+  EXPECT_EQ(dev.ecc_counters().detected_due, 0u);
+}
+
 TEST(FaultModel, StuckAtOneAsserts) {
   FaultMap fm;
   fm.Add({.byte_addr = 10, .bit = 3, .stuck_value = true});

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "core/recovery.h"
+#include "fault/campaign.h"
+
+namespace dcrm::fault {
+namespace {
+
+class BicgRecovery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = apps::MakeApp("P-BICG", apps::AppScale::kTiny);
+    profile_ = std::make_unique<apps::ProfileResult>(
+        apps::ProfileApp(*app_, sim::GpuConfig{}));
+  }
+  Addr RBase() const {
+    const auto& sp = profile_->dev->space();
+    return sp.Object(*sp.FindByName("r")).base;
+  }
+  // The seed suite's canonical fault: flips a high mantissa bit of
+  // r[0], kSdc unprotected and kDetected under plain detect-only.
+  static mem::StuckAtFault FaultAt(Addr a) {
+    return {.byte_addr = a, .bit = 6, .stuck_value = true};
+  }
+  std::unique_ptr<apps::App> app_;
+  std::unique_ptr<apps::ProfileResult> profile_;
+};
+
+TEST_F(BicgRecovery, ArbitrationRecoversPrimaryFault) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  c.EnableRecovery({.enabled = true});
+  EXPECT_EQ(c.RunOnce({FaultAt(RBase() + 3)}), Outcome::kRecovered);
+  const auto& s = c.recovery()->stats();
+  EXPECT_GE(s.arbitrations, 1u);
+  EXPECT_EQ(s.retries, 0u);  // Tier 0 settled it in place
+}
+
+TEST_F(BicgRecovery, ArbitrationRepairsFaultyReplica) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  c.EnableRecovery({.enabled = true});
+  const auto* range = c.plan().Lookup(RBase());
+  ASSERT_NE(range, nullptr);
+  const Outcome o =
+      c.RunOnce({FaultAt(range->ReplicaAddr(0, RBase() + 3))});
+  EXPECT_EQ(o, Outcome::kRecovered);
+  EXPECT_GE(c.recovery()->stats().arbitrations, 1u);
+  EXPECT_EQ(c.recovery()->stats().retries, 0u);
+}
+
+TEST_F(BicgRecovery, RetirementAndRetryRecoverDetection) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  core::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.arbitrate = false;  // force the Tier-1 path
+  c.EnableRecovery(rc);
+  EXPECT_EQ(c.RunOnce({FaultAt(RBase() + 3)}), Outcome::kRecovered);
+  const auto& s = c.recovery()->stats();
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_GE(s.retired_blocks, 1u);
+  EXPECT_EQ(s.backoff_units, 1u);  // 2^0 for the first attempt
+  EXPECT_GE(c.recovery()->spare_blocks_used(), 1u);
+}
+
+TEST_F(BicgRecovery, ExhaustedBudgetSurfacesDetected) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  core::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.arbitrate = false;
+  rc.retire = false;  // nothing changes between attempts: always fails
+  rc.max_retries = 2;
+  c.EnableRecovery(rc);
+  EXPECT_EQ(c.RunOnce({FaultAt(RBase() + 3)}), Outcome::kDetected);
+  const auto& s = c.recovery()->stats();
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.backoff_units, 3u);  // 2^0 + 2^1
+  EXPECT_EQ(s.exhausted_runs, 1u);
+}
+
+TEST_F(BicgRecovery, ZeroRetryBudgetKeepsPaperBehaviour) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  core::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.arbitrate = false;
+  rc.scrub = false;
+  rc.retire = false;
+  rc.max_retries = 0;
+  c.EnableRecovery(rc);
+  EXPECT_EQ(c.RunOnce({FaultAt(RBase() + 3)}), Outcome::kDetected);
+  EXPECT_EQ(c.recovery()->stats().retries, 0u);
+}
+
+TEST_F(BicgRecovery, RepeatOffenderEscalatesToVote) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  core::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.arbitrate = false;
+  rc.retire = false;
+  rc.max_retries = 1;
+  rc.escalate_threshold = 2;
+  c.EnableRecovery(rc);
+  const auto f = FaultAt(RBase() + 3);
+  // Run 1 exhausts its budget and records two offenses against r;
+  // run 2 starts with r escalated to a majority vote, which corrects
+  // the fault without re-execution.
+  EXPECT_EQ(c.RunOnce({f}), Outcome::kDetected);
+  EXPECT_EQ(c.RunOnce({f}), Outcome::kRecovered);
+  EXPECT_GE(c.recovery()->stats().escalations, 1u);
+}
+
+TEST_F(BicgRecovery, CleanRunStaysMaskedWithRecoveryEnabled) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  c.EnableRecovery({.enabled = true});
+  EXPECT_EQ(c.RunOnce({}), Outcome::kMasked);
+  EXPECT_EQ(c.recovery()->stats().retries, 0u);
+  EXPECT_EQ(c.recovery()->stats().arbitrations, 0u);
+}
+
+TEST_F(BicgRecovery, CampaignConvertsDetectionsToRecoveries) {
+  CampaignConfig cfg;
+  cfg.target = Target::kHotBlocks;
+  cfg.faulty_blocks = 1;
+  cfg.bits_per_block = 4;
+  cfg.runs = 40;
+  cfg.seed = 5;
+
+  FaultCampaign off(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  const auto base = off.Run(cfg);
+  ASSERT_GT(base.detected, 0u);
+
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_retries = 2;
+  FaultCampaign on(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  const auto rec = on.Run(cfg);
+
+  EXPECT_EQ(rec.runs, base.runs);
+  EXPECT_LE(rec.sdc, base.sdc);  // recovery must not create new SDCs
+  EXPECT_LT(rec.detected, base.detected);
+  // Strict majority of the former detections convert to kRecovered.
+  EXPECT_GT(rec.recovered, base.detected / 2);
+  EXPECT_GT(rec.recovery.scrubs + rec.recovery.arbitrations +
+                rec.recovery.retries,
+            0u);
+}
+
+TEST_F(BicgRecovery, CampaignCountsIncludeRecovered) {
+  CampaignConfig cfg;
+  cfg.target = Target::kHotBlocks;
+  cfg.faulty_blocks = 1;
+  cfg.bits_per_block = 4;
+  cfg.runs = 20;
+  cfg.seed = 11;
+  cfg.recovery.enabled = true;
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  const auto counts = c.Run(cfg);
+  EXPECT_EQ(counts.masked + counts.sdc + counts.detected + counts.due +
+                counts.crash + counts.recovered,
+            counts.runs);
+}
+
+TEST(ChargeRecoveryTest, CostArithmetic) {
+  sim::GpuConfig cfg;
+  core::RecoveryStats s;
+  s.scrubs = 3;
+  s.retired_blocks = 2;
+  s.retries = 1;
+  s.backoff_units = 5;
+  const auto c = core::ChargeRecovery(s, 10, 1000, cfg);
+  const double dram =
+      static_cast<double>(cfg.t_rcd + cfg.t_cl + cfg.burst_cycles);
+  EXPECT_DOUBLE_EQ(c.scrub_cycles, 3 * 2.0 * dram);
+  EXPECT_DOUBLE_EQ(c.retire_cycles, 2 * (2.0 * dram + cfg.t_rp));
+  EXPECT_DOUBLE_EQ(c.reexec_cycles, 1000.0);
+  EXPECT_DOUBLE_EQ(c.backoff_cycles, 5.0 * cfg.recovery_backoff_cycles);
+  EXPECT_DOUBLE_EQ(c.total_cycles, c.scrub_cycles + c.retire_cycles +
+                                       c.reexec_cycles + c.backoff_cycles);
+  EXPECT_DOUBLE_EQ(c.per_run_overhead, c.total_cycles / 10000.0);
+}
+
+TEST(ChargeRecoveryTest, ZeroRunsYieldZeroOverhead) {
+  const auto c = core::ChargeRecovery({}, 0, 0, sim::GpuConfig{});
+  EXPECT_DOUBLE_EQ(c.total_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(c.per_run_overhead, 0.0);
+}
+
+}  // namespace
+}  // namespace dcrm::fault

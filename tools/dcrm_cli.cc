@@ -9,7 +9,14 @@
 //   dcrm timing <app> [--scheme=..] [--cover=N]   cycle-level run
 //   dcrm campaign <app> [--target=hot|rest|miss] [--blocks=N] [--bits=N]
 //                 [--runs=N] [--scheme=none|detect|correct] [--cover=N]
+//   dcrm recover [<app>] [--retries=N] [campaign flags]
+//                 sweep re-execution retry budgets 0..N (0 = the paper's
+//                 detect-and-die) over one app or, with no app, all ten
 //   Common flags: --scale=tiny|small|medium  --config=FILE  --seed=N
+//
+// Exit codes: 0 success, 2 usage, 3 a run was terminated by the
+// detection scheme, 4 a run hit a SECDED uncorrectable error, 1 any
+// other error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,17 +46,19 @@ struct CliArgs {
   unsigned blocks = 1;
   unsigned bits = 2;
   unsigned runs = 200;
+  unsigned retries = 3;
 };
 
 int Usage() {
   std::cerr
-      << "usage: dcrm <apps|config|profile|timing|campaign> [<app>] "
-         "[flags]\n"
+      << "usage: dcrm <apps|config|profile|timing|campaign|recover> "
+         "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
          "       --save=FILE (profile)\n"
          "       --scheme=none|detect|correct --cover=N (timing, campaign)\n"
          "       --target=hot|rest|miss --blocks=N --bits=N --runs=N "
-         "(campaign)\n";
+         "(campaign, recover)\n"
+         "       --retries=N (recover: sweep budgets 0..N)\n";
   return 2;
 }
 
@@ -106,6 +115,10 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (auto v = value("--runs=")) {
     args.runs = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--retries=")) {
+    args.retries = static_cast<unsigned>(std::stoul(*v));
     return true;
   }
   return false;
@@ -206,6 +219,59 @@ int CmdCampaign(CliArgs& args) {
   return 0;
 }
 
+int CmdRecover(CliArgs& args) {
+  // The sweep needs a detecting scheme; default to the paper's
+  // duplication when none was requested.
+  if (args.scheme == sim::Scheme::kNone) {
+    args.scheme = sim::Scheme::kDetectOnly;
+  }
+  const std::vector<std::string> names =
+      args.app.empty() ? apps::HotPatternAppNames()
+                       : std::vector<std::string>{args.app};
+  std::cout << "retry-budget sweep: scheme=" << sim::SchemeName(args.scheme)
+            << " blocks=" << args.blocks << " bits=" << args.bits
+            << " runs=" << args.runs << " seed=" << args.seed << "\n"
+            << "budget 0 is the paper's detect-and-die pipeline; budget "
+               "k adds tiered recovery with up to k re-executions.\n";
+  for (const auto& name : names) {
+    auto app = apps::MakeApp(name, args.scale);
+    const auto profile = apps::ProfileApp(*app, args.cfg);
+    const unsigned cover = args.cover.value_or(
+        static_cast<unsigned>(profile.hot.coverage_order.size()));
+    const auto setup =
+        apps::MakeProtectionSetup(*app, profile, args.scheme, cover);
+    const std::uint64_t run_cycles =
+        apps::RunTiming(*app, profile, args.cfg, setup.plan).cycles;
+    for (unsigned budget = 0; budget <= args.retries; ++budget) {
+      // Fresh campaign per budget point: the repeat-offender memory
+      // must not leak between sweep points.
+      fault::FaultCampaign campaign(*app, profile, args.scheme, cover);
+      fault::CampaignConfig cc;
+      cc.target = args.target;
+      cc.faulty_blocks = args.blocks;
+      cc.bits_per_block = args.bits;
+      cc.runs = args.runs;
+      cc.seed = args.seed;
+      cc.recovery.enabled = budget > 0;
+      cc.recovery.max_retries = budget;
+      const auto counts = campaign.Run(cc);
+      const auto cost = core::ChargeRecovery(counts.recovery, counts.runs,
+                                             run_cycles, args.cfg);
+      std::cout << name << " budget=" << budget << " runs=" << counts.runs
+                << ": sdc " << counts.sdc << ", detected " << counts.detected
+                << ", recovered " << counts.recovered << ", masked "
+                << counts.masked << ", due " << counts.due << ", crash "
+                << counts.crash << " | arb " << counts.recovery.arbitrations
+                << ", scrubs " << counts.recovery.scrubs << ", retired "
+                << counts.recovery.retired_blocks << ", reexec "
+                << counts.recovery.retries << ", escalations "
+                << counts.recovery.escalations << ", overhead "
+                << 100.0 * cost.per_run_overhead << "%\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,6 +284,11 @@ int main(int argc, char** argv) {
     if (argc < 3 || argv[2][0] == '-') return Usage();
     args.app = argv[2];
     i = 3;
+  } else if (args.command == "recover") {
+    if (argc >= 3 && argv[2][0] != '-') {
+      args.app = argv[2];
+      i = 3;
+    }
   }
   try {
     for (; i < argc; ++i) {
@@ -231,6 +302,19 @@ int main(int argc, char** argv) {
     if (args.command == "profile") return CmdProfile(args);
     if (args.command == "timing") return CmdTiming(args);
     if (args.command == "campaign") return CmdCampaign(args);
+    if (args.command == "recover") return CmdRecover(args);
+  } catch (const core::DetectionTerminated& e) {
+    // A reliability outcome, not a tool failure: report what the
+    // detection hardware saw and exit distinctly so scripts can tell
+    // "the scheme fired" from "the tool broke".
+    std::cerr << "reliability: detection terminated the run (scheme="
+              << sim::SchemeName(args.scheme) << ", pc=" << e.pc()
+              << ", addr=0x" << std::hex << e.addr() << std::dec << ")\n";
+    return 3;
+  } catch (const mem::DueError& e) {
+    std::cerr << "reliability: SECDED uncorrectable error (addr=0x"
+              << std::hex << e.addr() << std::dec << ")\n";
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
