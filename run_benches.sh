@@ -1,8 +1,10 @@
-#!/bin/sh
+#!/bin/bash
 # Runs every bench with wall-clock-friendly parameters (each bench
 # prints the parameters it ran with). Drop the flags for paper-strength
 # run counts and larger workloads.
-set -u
+# Fail fast: a bench that crashes or exits nonzero aborts the sweep
+# instead of burying the failure in later output.
+set -euo pipefail
 B=build/bench
 run() { echo "========== $*"; "$@"; echo; }
 run $B/bench_table1_config

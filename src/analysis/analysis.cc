@@ -1,0 +1,563 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace dcrm::analysis {
+
+namespace {
+
+bool Overlaps(Addr a, std::uint64_t an, Addr b, std::uint64_t bn) {
+  return an > 0 && bn > 0 && a < b + bn && b < a + an;
+}
+
+std::string NameAt(const mem::AddressSpace& space, Addr a) {
+  if (const auto id = space.OwnerOf(a)) return space.Object(*id).name;
+  std::ostringstream os;
+  os << "<unnamed 0x" << std::hex << a << ">";
+  return os.str();
+}
+
+std::string KernelLabel(const trace::KernelTrace& kt, std::size_t index) {
+  if (!kt.name.empty()) return kt.name;
+  std::ostringstream os;
+  os << "kernel#" << index;
+  return os.str();
+}
+
+// Per-block sharing summary, compact enough to scale to full traces:
+// one distinct writer/reader each plus "more than one" flags decide
+// every race case without storing full warp sets.
+struct BlockSharing {
+  WarpId writer = 0;
+  WarpId reader = 0;
+  bool has_writer = false;
+  bool has_reader = false;
+  bool multi_writer = false;
+  bool multi_reader = false;
+
+  bool Raced() const {
+    if (multi_writer) return true;  // write/write
+    if (!has_writer || !has_reader) return false;
+    return multi_reader || reader != writer;  // write/read across warps
+  }
+};
+
+// Average transactions per warp-level load instruction touching a
+// protected range above which the coalescing diagnostic fires. A
+// perfectly coalesced unit-stride load needs 1 transaction; the
+// paper's uncoalesced counterexamples (column-major matrix walks) fan
+// out to 32.
+constexpr double kCoalesceInfoThreshold = 4.0;
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kViolation:
+      return "violation";
+  }
+  return "?";
+}
+
+const char* CheckName(Check c) {
+  switch (c) {
+    case Check::kInterWarpRace:
+      return "inter-warp-race";
+    case Check::kReadOnly:
+      return "read-only";
+    case Check::kReplicaLayout:
+      return "replica-layout";
+    case Check::kCapacity:
+      return "capacity";
+    case Check::kCoalescing:
+      return "coalescing";
+    case Check::kHotClaim:
+      return "hot-claim";
+  }
+  return "?";
+}
+
+std::size_t Report::Count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [s](const Finding& f) { return f.severity == s; }));
+}
+
+Severity Report::Worst() const {
+  Severity w = Severity::kInfo;
+  for (const auto& f : findings) w = std::max(w, f.severity);
+  return w;
+}
+
+int Report::ExitCode() const {
+  if (Count(Severity::kViolation) > 0) return kExitViolations;
+  if (Count(Severity::kWarning) > 0) return kExitWarnings;
+  return kExitClean;
+}
+
+void Report::Append(std::vector<Finding> more) {
+  findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                  std::make_move_iterator(more.end()));
+}
+
+std::vector<Finding> CheckInterWarpRaces(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const sim::ProtectionPlan& plan) {
+  std::vector<Finding> out;
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    const trace::KernelTrace& kt = traces[k];
+    // Kernel boundaries order all accesses, so sharing is tracked per
+    // kernel and the maps reset between launches.
+    std::unordered_map<Addr, BlockSharing> blocks;
+    for (const auto& wt : kt.warps) {
+      for (const auto& inst : wt.insts) {
+        for (const Addr b : inst.blocks) {
+          BlockSharing& s = blocks[b];
+          if (inst.type == AccessType::kStore) {
+            if (!s.has_writer) {
+              s.has_writer = true;
+              s.writer = wt.warp;
+            } else if (s.writer != wt.warp) {
+              s.multi_writer = true;
+            }
+          } else {
+            if (!s.has_reader) {
+              s.has_reader = true;
+              s.reader = wt.warp;
+            } else if (s.reader != wt.warp) {
+              s.multi_reader = true;
+            }
+          }
+        }
+      }
+    }
+    // Aggregate raced blocks per (object, protected) so reports stay
+    // one line per subject instead of one per block.
+    struct Group {
+      std::uint64_t blocks = 0;
+      Addr first = ~Addr{0};
+    };
+    std::map<std::pair<std::string, bool>, Group> groups;
+    for (const auto& [addr, s] : blocks) {
+      if (!s.Raced()) continue;
+      const bool covered = plan.Lookup(addr) != nullptr;
+      Group& g = groups[{NameAt(space, addr), covered}];
+      g.first = std::min(g.first, addr);
+      ++g.blocks;
+    }
+    for (const auto& [key, g] : groups) {
+      const bool covered = key.second;
+      Finding f;
+      f.check = Check::kInterWarpRace;
+      f.subject = key.first;
+      f.addr = g.first;
+      f.count = g.blocks;
+      std::ostringstream d;
+      d << KernelLabel(kt, k) << ": " << g.blocks
+        << " 128B block(s) written by one warp and touched by another "
+           "with no intervening kernel boundary";
+      if (covered) {
+        f.severity = plan.propagate_stores ? Severity::kWarning
+                                           : Severity::kViolation;
+        d << "; block is protected — lazy-compare detection would "
+             "misfire on the stale replica";
+        if (plan.propagate_stores) {
+          d << " (mitigated by store propagation)";
+        }
+      } else {
+        f.severity = Severity::kInfo;
+        d << "; unprotected data (expected for reductions/outputs)";
+      }
+      f.detail = d.str();
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> CertifyReadOnly(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const sim::ProtectionPlan& plan) {
+  std::vector<Finding> out;
+  if (plan.scheme == sim::Scheme::kNone || plan.ranges.empty()) return out;
+  struct Hit {
+    std::uint64_t stores = 0;
+    std::set<Pc> pcs;
+    std::set<std::string> kernels;
+    Addr first = ~Addr{0};
+  };
+  std::vector<Hit> hits(plan.ranges.size());
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    const trace::KernelTrace& kt = traces[k];
+    for (const auto& wt : kt.warps) {
+      for (const auto& inst : wt.insts) {
+        if (inst.type != AccessType::kStore) continue;
+        for (const Addr b : inst.blocks) {
+          for (std::size_t r = 0; r < plan.ranges.size(); ++r) {
+            if (!Overlaps(b, kBlockSize, plan.ranges[r].base,
+                          plan.ranges[r].size)) {
+              continue;
+            }
+            Hit& h = hits[r];
+            ++h.stores;
+            h.pcs.insert(inst.pc);
+            h.kernels.insert(KernelLabel(kt, k));
+            h.first = std::min(h.first, b);
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < plan.ranges.size(); ++r) {
+    const Hit& h = hits[r];
+    if (h.stores == 0) continue;
+    Finding f;
+    f.check = Check::kReadOnly;
+    f.severity = Severity::kViolation;
+    f.subject = NameAt(space, plan.ranges[r].base);
+    f.addr = h.first;
+    f.count = h.stores;
+    std::ostringstream d;
+    d << "protected object is stored to by ";
+    for (auto it = h.kernels.begin(); it != h.kernels.end(); ++it) {
+      if (it != h.kernels.begin()) d << ", ";
+      d << *it;
+    }
+    d << " (" << h.stores << " store txns from " << h.pcs.size()
+      << " site(s)); the paper's read-only soundness argument does "
+         "not cover it";
+    if (plan.propagate_stores) {
+      d << " — store propagation keeps copies coherent (extension "
+           "path), but certification still fails";
+    } else {
+      d << " — replicas desynchronize and lazy compare misfires";
+    }
+    f.detail = d.str();
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Finding> CheckReplicaLayout(const mem::AddressSpace& space,
+                                        const sim::ProtectionPlan& plan,
+                                        std::optional<SpareRegion> spare) {
+  std::vector<Finding> out;
+  if (plan.scheme == sim::Scheme::kNone) return out;
+  auto add = [&](Severity sev, const std::string& subject, Addr addr,
+                 const std::string& detail) {
+    out.push_back(
+        {Check::kReplicaLayout, sev, subject, addr, 1, detail});
+  };
+  // Primary-range sanity first: overlapping primaries make Lookup
+  // ambiguous; unnamed primaries have no object to certify.
+  for (std::size_t i = 0; i < plan.ranges.size(); ++i) {
+    const auto& ri = plan.ranges[i];
+    if (!space.OwnerOf(ri.base)) {
+      add(Severity::kWarning, NameAt(space, ri.base), ri.base,
+          "protected range does not start inside any named data object");
+    }
+    for (std::size_t j = i + 1; j < plan.ranges.size(); ++j) {
+      const auto& rj = plan.ranges[j];
+      if (Overlaps(ri.base, ri.size, rj.base, rj.size)) {
+        add(Severity::kViolation, NameAt(space, ri.base), ri.base,
+            "protected ranges overlap: address lookup is ambiguous");
+      }
+    }
+  }
+  // Replica intervals vs. everything live.
+  struct Interval {
+    Addr base;
+    std::uint64_t size;
+    std::size_t range;
+    unsigned copy;
+  };
+  std::vector<Interval> replicas;
+  for (std::size_t r = 0; r < plan.ranges.size(); ++r) {
+    for (unsigned c = 0; c < plan.CopiesFor(plan.ranges[r]); ++c) {
+      replicas.push_back(
+          {plan.ranges[r].ReplicaAddr(c, plan.ranges[r].base),
+           plan.ranges[r].size, r, c});
+    }
+  }
+  for (const Interval& rep : replicas) {
+    const std::string primary = NameAt(space, plan.ranges[rep.range].base);
+    if (rep.base + rep.size > space.StoreSize()) {
+      add(Severity::kViolation, primary, rep.base,
+          "replica range extends past the allocated backing store");
+      continue;
+    }
+    for (const auto& obj : space.Objects()) {
+      if (Overlaps(rep.base, rep.size, obj.base, obj.size_bytes)) {
+        add(Severity::kViolation, primary, rep.base,
+            "replica aliases live data object '" + obj.name +
+                "': faults there corrupt both copies");
+      }
+    }
+    for (std::size_t r = 0; r < plan.ranges.size(); ++r) {
+      // Aliasing an unnamed primary is caught here; named primaries
+      // are already covered by the object scan above.
+      if (space.OwnerOf(plan.ranges[r].base)) continue;
+      if (Overlaps(rep.base, rep.size, plan.ranges[r].base,
+                   plan.ranges[r].size)) {
+        add(Severity::kViolation, primary, rep.base,
+            "replica aliases protected primary range of " +
+                NameAt(space, plan.ranges[r].base));
+      }
+    }
+    for (const Interval& other : replicas) {
+      if (other.range == rep.range && other.copy == rep.copy) continue;
+      // Report each aliasing pair once.
+      if (other.base > rep.base ||
+          (other.base == rep.base &&
+           (other.range < rep.range ||
+            (other.range == rep.range && other.copy < rep.copy)))) {
+        continue;
+      }
+      if (Overlaps(rep.base, rep.size, other.base, other.size)) {
+        add(Severity::kViolation, primary, rep.base,
+            "replica aliases another replica (of " +
+                NameAt(space, plan.ranges[other.range].base) +
+                "): one fault can hit both copies");
+      }
+    }
+    if (spare && Overlaps(rep.base, rep.size, spare->base, spare->size)) {
+      add(Severity::kViolation, primary, rep.base,
+          "replica aliases the Tier-1 retirement spare pool: a remap "
+          "would silently overwrite replica data");
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> LintCapacity(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const sim::ProtectionPlan& plan,
+    const sim::GpuConfig& cfg) {
+  std::vector<Finding> out;
+  if (plan.scheme == sim::Scheme::kNone || plan.ranges.empty()) return out;
+
+  // Replica start-address storage: 4 bytes per base address in the
+  // paper's 128B table — 32 one-replica entries or 16 two-replica
+  // entries (Section IV-C).
+  std::uint64_t replica_addrs = 0;
+  for (const auto& r : plan.ranges) replica_addrs += plan.CopiesFor(r);
+  const std::uint64_t addr_capacity = cfg.replica_addr_table_bytes / 4;
+  if (replica_addrs > addr_capacity) {
+    Finding f;
+    f.check = Check::kCapacity;
+    f.severity = Severity::kViolation;
+    f.subject = "replica-address-table";
+    f.count = replica_addrs;
+    std::ostringstream d;
+    d << replica_addrs << " replica base addresses exceed the "
+      << cfg.replica_addr_table_bytes << "B start-address table ("
+      << addr_capacity << " entries)";
+    f.detail = d.str();
+    out.push_back(std::move(f));
+  }
+
+  // Protected-PC table: the plan's static load sites, or — in
+  // address-check mode (empty table) — the trace-derived count that
+  // PC tracking would need.
+  std::uint64_t tracked = plan.pcs.size();
+  bool derived = false;
+  if (tracked == 0) {
+    std::set<Pc> pcs;
+    for (const auto& kt : traces) {
+      for (const auto& wt : kt.warps) {
+        for (const auto& inst : wt.insts) {
+          if (inst.type != AccessType::kLoad) continue;
+          for (const Addr b : inst.blocks) {
+            if (plan.Lookup(b) != nullptr) {
+              pcs.insert(inst.pc);
+              break;
+            }
+          }
+        }
+      }
+    }
+    tracked = pcs.size();
+    derived = true;
+  }
+  if (tracked > cfg.pc_table_entries) {
+    Finding f;
+    f.check = Check::kCapacity;
+    f.severity = derived ? Severity::kWarning : Severity::kViolation;
+    f.subject = "pc-table";
+    f.count = tracked;
+    std::ostringstream d;
+    d << tracked << " distinct protected-load sites exceed the "
+      << cfg.pc_table_entries << "-entry PC table";
+    if (derived) {
+      d << " (plan runs in address-check mode; enabling PC tracking "
+           "would overflow)";
+    }
+    f.detail = d.str();
+    out.push_back(std::move(f));
+  }
+
+  // Coalescing quality of the protected loads: replication multiplies
+  // every transaction, so a fanned-out hot load inflates replica
+  // traffic by the same factor.
+  for (const auto& r : plan.ranges) {
+    std::uint64_t insts = 0;
+    std::uint64_t txns = 0;
+    for (const auto& kt : traces) {
+      for (const auto& wt : kt.warps) {
+        for (const auto& inst : wt.insts) {
+          if (inst.type != AccessType::kLoad) continue;
+          std::uint64_t in_range = 0;
+          for (const Addr b : inst.blocks) {
+            if (Overlaps(b, kBlockSize, r.base, r.size)) ++in_range;
+          }
+          if (in_range > 0) {
+            ++insts;
+            txns += in_range;
+          }
+        }
+      }
+    }
+    if (insts == 0) continue;
+    const double avg = static_cast<double>(txns) /
+                       static_cast<double>(insts);
+    if (avg < kCoalesceInfoThreshold) continue;
+    Finding f;
+    f.check = Check::kCoalescing;
+    f.severity = Severity::kInfo;
+    f.subject = NameAt(space, r.base);
+    f.addr = r.base;
+    f.count = txns;
+    std::ostringstream d;
+    d << "protected loads average " << avg
+      << " transactions per warp instruction (1.0 is fully coalesced); "
+         "replication multiplies this fan-out";
+    f.detail = d.str();
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Finding> CrossCheckHotClaims(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const core::HotClassification& hot) {
+  std::vector<Finding> out;
+  struct Claim {
+    const mem::DataObject* obj;
+    std::uint64_t stores = 0;
+    Addr first = ~Addr{0};
+  };
+  std::vector<Claim> claims;
+  claims.reserve(hot.coverage_order.size());
+  for (const auto& op : hot.coverage_order) {
+    claims.push_back({&space.Object(op.id), 0, ~Addr{0}});
+  }
+  if (claims.empty()) return out;
+  for (const auto& kt : traces) {
+    for (const auto& wt : kt.warps) {
+      for (const auto& inst : wt.insts) {
+        if (inst.type != AccessType::kStore) continue;
+        for (const Addr b : inst.blocks) {
+          for (Claim& c : claims) {
+            if (Overlaps(b, kBlockSize, c.obj->base, c.obj->size_bytes)) {
+              ++c.stores;
+              c.first = std::min(c.first, b);
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const Claim& c : claims) {
+    if (c.stores == 0) continue;
+    Finding f;
+    f.check = Check::kHotClaim;
+    f.severity = Severity::kViolation;
+    f.subject = c.obj->name;
+    f.addr = c.first;
+    f.count = c.stores;
+    std::ostringstream d;
+    d << "hot classifier lists '" << c.obj->name
+      << "' as a read-only coverage candidate, but the traces contain "
+      << c.stores << " store transaction(s) into it";
+    f.detail = d.str();
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+Report Analyze(const AnalyzerInput& in) {
+  Report report;
+  if (in.traces == nullptr || in.space == nullptr || in.plan == nullptr) {
+    throw std::invalid_argument("analyzer input is incomplete");
+  }
+  report.Append(CheckInterWarpRaces(*in.traces, *in.space, *in.plan));
+  report.Append(CertifyReadOnly(*in.traces, *in.space, *in.plan));
+  report.Append(CheckReplicaLayout(*in.space, *in.plan, in.spare));
+  report.Append(LintCapacity(*in.traces, *in.space, *in.plan, in.cfg));
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return report;
+}
+
+void WriteText(const Report& report, std::ostream& os) {
+  os << "static analysis: " << report.Count(Severity::kViolation)
+     << " violation(s), " << report.Count(Severity::kWarning)
+     << " warning(s), " << report.Count(Severity::kInfo) << " info(s)";
+  if (report.findings.empty()) {
+    os << " — certified clean\n";
+    return;
+  }
+  os << '\n';
+  for (const auto& f : report.findings) {
+    os << "  [" << SeverityName(f.severity) << "] " << CheckName(f.check)
+       << " " << f.subject << " (addr=0x" << std::hex << f.addr << std::dec
+       << ", count=" << f.count << "): " << f.detail << '\n';
+  }
+}
+
+namespace {
+std::string CsvQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void WriteCsv(const Report& report, std::ostream& os) {
+  os << "check,severity,subject,addr,count,detail\n";
+  for (const auto& f : report.findings) {
+    os << CheckName(f.check) << ',' << SeverityName(f.severity) << ','
+       << CsvQuote(f.subject) << ",0x" << std::hex << f.addr << std::dec
+       << ',' << f.count << ',' << CsvQuote(f.detail) << '\n';
+  }
+}
+
+std::vector<const Finding*> BlockingFindings(const Report& report,
+                                             const sim::ProtectionPlan& plan) {
+  std::vector<const Finding*> blocking;
+  for (const auto& f : report.findings) {
+    if (f.severity != Severity::kViolation) continue;
+    const bool mitigated =
+        plan.propagate_stores &&
+        (f.check == Check::kReadOnly || f.check == Check::kInterWarpRace);
+    if (!mitigated) blocking.push_back(&f);
+  }
+  return blocking;
+}
+
+}  // namespace dcrm::analysis

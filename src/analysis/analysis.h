@@ -1,0 +1,166 @@
+// Static trace analyzer: certifies a protection configuration against
+// the recorded access streams *before* any timing simulation or fault
+// campaign runs — the simulator's analogue of compute-sanitizer's
+// racecheck, aimed at the silent-misconfiguration failure mode.
+//
+// The paper's schemes are sound only under invariants nothing enforced
+// until now:
+//  - protected objects must be read-only within protected kernels
+//    (lazy compare is unsound under writes: the primary is updated,
+//    the replica is stale, and the deferred comparison misfires);
+//  - replicas must live at fresh addresses that alias neither live
+//    objects nor the spare/remap region Tier-1 retirement writes to;
+//  - the LD/ST-unit tables (32-entry protected-PC store, 32/16-entry
+//    replica start-address store) must not overflow.
+//
+// Every check consumes only static inputs — the coalesced per-warp
+// access streams (trace::KernelTrace), the address-space object map,
+// and the protection plan — and emits machine-readable findings with
+// per-finding severity. Violations mean the configuration will produce
+// garbage results; warnings mean it leaves the paper's soundness
+// argument; infos are diagnostics (e.g. coalescing quality).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hot_classifier.h"
+#include "mem/address_space.h"
+#include "sim/config.h"
+#include "sim/replication.h"
+#include "trace/trace.h"
+
+namespace dcrm::analysis {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kViolation };
+
+enum class Check : std::uint8_t {
+  kInterWarpRace,  // write/read or write/write block sharing across warps
+  kReadOnly,       // protected range is stored to by a protected kernel
+  kReplicaLayout,  // replica aliases an object, a range, or the spare pool
+  kCapacity,       // LD/ST-unit table overflow (PC / replica-address)
+  kCoalescing,     // poorly coalesced protected loads (diagnostic)
+  kHotClaim,       // hot classifier's read-only claim contradicts traces
+};
+
+const char* SeverityName(Severity s);
+const char* CheckName(Check c);
+
+struct Finding {
+  Check check = Check::kInterWarpRace;
+  Severity severity = Severity::kInfo;
+  std::string subject;       // data object / kernel the finding is about
+  Addr addr = 0;             // representative address (block base)
+  std::uint64_t count = 0;   // blocks / entries / stores involved
+  std::string detail;
+};
+
+// CLI exit codes (distinct from the tool's 1/2 and the reliability
+// outcomes 3/4): clean configurations exit 0.
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitWarnings = 5;
+inline constexpr int kExitViolations = 6;
+
+struct Report {
+  std::vector<Finding> findings;
+
+  std::size_t Count(Severity s) const;
+  Severity Worst() const;
+  // Clean = certifiable: no warnings and no violations (infos allowed).
+  bool Clean() const { return Count(Severity::kWarning) == 0 &&
+                              Count(Severity::kViolation) == 0; }
+  int ExitCode() const;
+  void Append(std::vector<Finding> more);
+};
+
+// The spare block pool RecoveryManager remaps retired blocks into.
+struct SpareRegion {
+  Addr base = 0;
+  std::uint64_t size = 0;
+};
+
+struct AnalyzerInput {
+  const std::vector<trace::KernelTrace>* traces = nullptr;
+  const mem::AddressSpace* space = nullptr;
+  const sim::ProtectionPlan* plan = nullptr;
+  sim::GpuConfig cfg;
+  std::optional<SpareRegion> spare;
+};
+
+// Individual checks (exposed for unit testing; Analyze runs them all).
+
+// Inter-warp races: a 128B block written by one warp and read or
+// written by a different warp of the same kernel (no intervening
+// kernel boundary orders them). On a protected block this is where
+// lazy-compare detection would misfire — a violation unless the plan
+// propagates stores; on unprotected data it is an informational
+// sharing diagnostic (reductions do this by design).
+std::vector<Finding> CheckInterWarpRaces(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const sim::ProtectionPlan& plan);
+
+// Read-only certification: proves no store of any kernel lands in a
+// protected range. A covered-but-stored-to object is always a
+// violation of the paper's scheme; the detail records whether the
+// store-propagation extension mitigates it.
+std::vector<Finding> CertifyReadOnly(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const sim::ProtectionPlan& plan);
+
+// Replica layout: every replica range must stay inside the backing
+// store and overlap neither named objects, protected primaries, other
+// replicas, nor the retirement spare pool.
+std::vector<Finding> CheckReplicaLayout(const mem::AddressSpace& space,
+                                        const sim::ProtectionPlan& plan,
+                                        std::optional<SpareRegion> spare);
+
+// Hardware-capacity lint: protected ranges vs. the 128B start-address
+// table (32 one-replica / 16 two-replica entries), tracked PCs vs. the
+// 32-entry PC table, plus a coalescing-quality diagnostic for the
+// protected (hot) objects — poorly coalesced hot loads multiply
+// replication traffic by the transaction fan-out.
+std::vector<Finding> LintCapacity(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const sim::ProtectionPlan& plan,
+    const sim::GpuConfig& cfg);
+
+// Cross-check: every object the hot classifier marks read-only (the
+// Table III coverage order feeding MakeProtectionSetup) must indeed
+// never be stored to in the traces. Disagreement means the protection
+// planner would certify an unsound cover.
+std::vector<Finding> CrossCheckHotClaims(
+    const std::vector<trace::KernelTrace>& traces,
+    const mem::AddressSpace& space, const core::HotClassification& hot);
+
+// Runs race, read-only, layout and capacity checks.
+Report Analyze(const AnalyzerInput& in);
+
+// Report writers: human-readable text and machine-readable CSV
+// (header: check,severity,subject,addr,count,detail).
+void WriteText(const Report& report, std::ostream& os);
+void WriteCsv(const Report& report, std::ostream& os);
+
+// Thrown by the campaign-launch gate when a plan has blocking
+// violations and the caller did not pass allow_unsound.
+class UnsoundPlanError : public std::runtime_error {
+ public:
+  UnsoundPlanError(std::string what, Report report)
+      : std::runtime_error(std::move(what)), report_(std::move(report)) {}
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+// Campaign-gate policy: violations block a launch except those the
+// store-propagation extension soundly mitigates (read-only and race
+// findings on a plan that mirrors stores into the replicas and reads
+// outputs through the voting plane).
+std::vector<const Finding*> BlockingFindings(const Report& report,
+                                             const sim::ProtectionPlan& plan);
+
+}  // namespace dcrm::analysis

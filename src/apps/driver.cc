@@ -106,6 +106,7 @@ ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
     exec::LaunchKernel(k.cfg, plane, &tee, k.body);
     out.profiler.EndKernel();
     out.traces.push_back(builder.Build(k.cfg));
+    out.traces.back().name = k.name;
   }
   // Miss profile from a baseline run of the cycle-level simulator:
   // with warps desynchronized by real memory latencies, hot blocks

@@ -62,10 +62,12 @@ void AccessProfiler::OnAccess(const exec::ThreadCoord& who,
 
 std::unordered_set<Pc> AccessProfiler::PcsTouching(
     std::span<const mem::ObjectId> objects) const {
+  const std::unordered_set<mem::ObjectId> wanted(objects.begin(),
+                                                 objects.end());
   std::unordered_set<Pc> out;
   for (const auto& [pc, stats] : pcs_) {
     for (const auto& [obj, count] : stats.per_object) {
-      if (std::find(objects.begin(), objects.end(), obj) != objects.end()) {
+      if (wanted.contains(obj)) {
         out.insert(pc);
         break;
       }

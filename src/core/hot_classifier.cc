@@ -113,6 +113,8 @@ BlockSplit SplitBlocks(const HotClassification& cls,
     const std::uint64_t last = (obj.end() - 1) / kBlockSize;
     for (std::uint64_t b = first; b <= last; ++b) hot_set.insert(b);
   }
+  split.hot.reserve(hot_set.size());
+  split.rest.reserve(prof.blocks().size());
   for (const auto& [block, bp] : prof.blocks()) {
     if (hot_set.contains(block)) {
       split.hot.push_back(block);

@@ -24,10 +24,10 @@ void OnlineHotDetector::Observe(std::uint64_t block) {
   // Space-Saving replacement: evict the minimum-count entry; the new
   // entry adopts count+1 with the evicted count recorded as its error
   // (so count stays an upper bound and count-error a lower bound).
-  auto min_it = table_.begin();
-  for (auto it = table_.begin(); it != table_.end(); ++it) {
-    if (it->second.count < min_it->second.count) min_it = it;
-  }
+  const auto min_it = std::min_element(
+      table_.begin(), table_.end(), [](const auto& a, const auto& b) {
+        return a.second.count < b.second.count;
+      });
   const std::uint64_t evicted = min_it->second.count;
   table_.erase(min_it);
   table_.emplace(block, Cell{evicted + 1, evicted});

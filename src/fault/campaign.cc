@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
+#include "analysis/analysis.h"
 #include "exec/launcher.h"
 #include "fault/fault_shapes.h"
 
@@ -13,7 +15,8 @@ FaultCampaign::FaultCampaign(apps::App& app,
                              const apps::ProfileResult& profile,
                              sim::Scheme scheme, unsigned cover_objects,
                              mem::EccMode ecc,
-                             core::ReplicaPlacement placement)
+                             core::ReplicaPlacement placement,
+                             bool allow_unsound)
     : app_(&app), profile_(&profile) {
   app_->Setup(dev_);
   dev_.set_ecc_mode(ecc);
@@ -35,14 +38,14 @@ FaultCampaign::FaultCampaign(apps::App& app,
         std::make_unique<core::ProtectedDataPlane>(dev_, plan_);
   }
 
-  FinishInit();
+  FinishInit(allow_unsound);
 }
 
 FaultCampaign::FaultCampaign(apps::App& app,
                              const apps::ProfileResult& profile,
                              sim::Scheme scheme,
                              const std::vector<std::string>& object_names,
-                             mem::EccMode ecc)
+                             mem::EccMode ecc, bool allow_unsound)
     : app_(&app), profile_(&profile) {
   app_->Setup(dev_);
   dev_.set_ecc_mode(ecc);
@@ -66,11 +69,34 @@ FaultCampaign::FaultCampaign(apps::App& app,
     protected_plane_ =
         std::make_unique<core::ProtectedDataPlane>(dev_, plan_);
   }
-  FinishInit();
+  FinishInit(allow_unsound);
 }
 
-void FaultCampaign::FinishInit() {
+void FaultCampaign::FinishInit(bool allow_unsound) {
   const apps::ProfileResult& profile = *profile_;
+
+  // Campaign-launch gate: certify the plan against the recorded access
+  // streams before a single fault is injected. A campaign over an
+  // unsound configuration does not fail loudly on its own — it just
+  // reports garbage outcome statistics — so blocking violations refuse
+  // the launch unless the caller explicitly opted out.
+  if (!allow_unsound && plan_.scheme != sim::Scheme::kNone) {
+    analysis::AnalyzerInput in;
+    in.traces = &profile.traces;
+    in.space = &dev_.space();
+    in.plan = &plan_;
+    const analysis::Report report = analysis::Analyze(in);
+    const auto blocking = analysis::BlockingFindings(report, plan_);
+    if (!blocking.empty()) {
+      std::ostringstream os;
+      os << "campaign refused: protection plan is unsound ("
+         << blocking.size() << " blocking violation(s); pass "
+         << "allow_unsound / --allow-unsound to override). First: "
+         << analysis::CheckName(blocking.front()->check) << " on "
+         << blocking.front()->subject << ": " << blocking.front()->detail;
+      throw analysis::UnsoundPlanError(os.str(), report);
+    }
+  }
   snapshot_.assign(dev_.space().Data(),
                    dev_.space().Data() + dev_.space().StoreSize());
 

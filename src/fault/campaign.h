@@ -97,19 +97,32 @@ class FaultCampaign {
   // coverage order with `scheme`; 0 or Scheme::kNone leaves the app
   // unprotected. `profile` must come from ProfileApp on this same app
   // (same scale).
+  //
+  // Launch gate: before any run, the static analyzer (src/analysis)
+  // certifies the plan against the recorded access streams. Blocking
+  // violations — a covered object the traces store to, replica
+  // aliasing, LD/ST-table overflow — throw analysis::UnsoundPlanError
+  // unless `allow_unsound` is set, so an unsound campaign cannot
+  // silently produce garbage statistics.
   FaultCampaign(apps::App& app, const apps::ProfileResult& profile,
                 sim::Scheme scheme, unsigned cover_objects,
                 mem::EccMode ecc = mem::EccMode::kNone,
                 core::ReplicaPlacement placement =
-                    core::ReplicaPlacement::kDefault);
+                    core::ReplicaPlacement::kDefault,
+                bool allow_unsound = false);
 
   // Extension: protect an explicit set of objects by name, including
   // writable ones (store propagation keeps the copies coherent, and
-  // the host reads protected outputs through the voting plane).
+  // the host reads protected outputs through the voting plane). The
+  // launch gate downgrades read-only/race violations that store
+  // propagation soundly mitigates, so naming writable objects — the
+  // explicit opt-in to the extension — passes; other violations still
+  // refuse the launch unless `allow_unsound` is set.
   FaultCampaign(apps::App& app, const apps::ProfileResult& profile,
                 sim::Scheme scheme,
                 const std::vector<std::string>& object_names,
-                mem::EccMode ecc = mem::EccMode::kNone);
+                mem::EccMode ecc = mem::EccMode::kNone,
+                bool allow_unsound = false);
 
   CampaignCounts Run(const CampaignConfig& cfg);
 
@@ -130,7 +143,7 @@ class FaultCampaign {
   const sim::ProtectionPlan& plan() const { return plan_; }
 
  private:
-  void FinishInit();
+  void FinishInit(bool allow_unsound);
   std::vector<float> ReadObservedOutputs() const;
   std::vector<std::uint64_t> SelectBlocks(Target target, unsigned count,
                                           Rng& rng) const;

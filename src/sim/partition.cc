@@ -34,13 +34,13 @@ void MemPartition::Tick(std::uint64_t now, Interconnect& icnt,
   // popping).
   if (mshrs_.size() < cfg_.l2_mshrs && dram_.CanAccept()) {
     if (auto req = icnt.PopRequestFor(id_, now)) {
-      HandleRequest(*req, now, icnt, stats);
+      HandleRequest(*req, now, stats);
     }
   }
 }
 
 void MemPartition::HandleRequest(const MemRequest& req, std::uint64_t now,
-                                 Interconnect& icnt, GpuStats& stats) {
+                                 GpuStats& stats) {
   ++stats.l2_accesses;
   if (req.is_write) {
     // Write-back L2: a write hit is absorbed by the cache; a write

@@ -25,7 +25,7 @@ class MemPartition {
 
  private:
   void HandleRequest(const MemRequest& req, std::uint64_t now,
-                     Interconnect& icnt, GpuStats& stats);
+                     GpuStats& stats);
 
   GpuConfig cfg_;
   std::uint32_t id_;

@@ -18,6 +18,16 @@ std::uint64_t KernelTrace::TotalTransactions() const {
   return n;
 }
 
+std::uint64_t KernelTrace::TotalStoreTransactions() const {
+  std::uint64_t n = 0;
+  for (const auto& w : warps) {
+    for (const auto& i : w.insts) {
+      if (i.type == AccessType::kStore) n += i.blocks.size();
+    }
+  }
+  return n;
+}
+
 std::vector<WarpMemInst> CoalesceStep(
     const std::vector<exec::AccessRecord>& lane_records) {
   std::vector<WarpMemInst> out;

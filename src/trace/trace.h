@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -32,11 +33,16 @@ struct WarpTrace {
 };
 
 struct KernelTrace {
+  // Launch name (e.g. "bicg_kernel1"), carried so downstream consumers
+  // — the static analyzer in particular — can attribute findings to a
+  // kernel. Empty for hand-built traces.
+  std::string name;
   exec::LaunchConfig cfg;
   std::vector<WarpTrace> warps;  // sorted by warp id
 
   std::uint64_t TotalMemInsts() const;
   std::uint64_t TotalTransactions() const;
+  std::uint64_t TotalStoreTransactions() const;
 };
 
 // Coalesces one ordinal's worth of lane records (same warp, same

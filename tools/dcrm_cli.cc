@@ -12,20 +12,30 @@
 //   dcrm recover [<app>] [--retries=N] [campaign flags]
 //                 sweep re-execution retry budgets 0..N (0 = the paper's
 //                 detect-and-die) over one app or, with no app, all ten
+//   dcrm analyze <app> [--scheme=..] [--cover=N | --objects=a,b,c]
+//                 [--csv=FILE]
+//                 static certification of the protection plan against
+//                 the recorded access streams (races, read-only proof,
+//                 replica aliasing, LD/ST-table capacity) — no timing
+//                 simulation, no fault injection
 //   Common flags: --scale=tiny|small|medium  --config=FILE  --seed=N
 //
 // Exit codes: 0 success, 2 usage, 3 a run was terminated by the
-// detection scheme, 4 a run hit a SECDED uncorrectable error, 1 any
-// other error.
+// detection scheme, 4 a run hit a SECDED uncorrectable error, 5 the
+// analyzer certified with warnings, 6 the analyzer found violations,
+// 1 any other error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "analysis/analysis.h"
 #include "apps/driver.h"
 #include "apps/registry.h"
 #include "core/profile_io.h"
+#include "core/recovery.h"
 #include "fault/campaign.h"
 #include "sim/config_io.h"
 
@@ -47,18 +57,27 @@ struct CliArgs {
   unsigned bits = 2;
   unsigned runs = 200;
   unsigned retries = 3;
+  std::vector<std::string> objects;  // explicit cover (analyze, campaign)
+  std::string csv_path;              // analyze: machine-readable report
+  bool allow_unsound = false;        // campaign: skip the launch gate
 };
 
 int Usage() {
   std::cerr
-      << "usage: dcrm <apps|config|profile|timing|campaign|recover> "
+      << "usage: dcrm <apps|config|profile|timing|campaign|recover|analyze> "
          "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
          "       --save=FILE (profile)\n"
-         "       --scheme=none|detect|correct --cover=N (timing, campaign)\n"
+         "       --scheme=none|detect|correct --cover=N (timing, campaign, "
+         "analyze)\n"
          "       --target=hot|rest|miss --blocks=N --bits=N --runs=N "
          "(campaign, recover)\n"
-         "       --retries=N (recover: sweep budgets 0..N)\n";
+         "       --retries=N (recover: sweep budgets 0..N)\n"
+         "       --objects=a,b,c (analyze, campaign: explicit cover, may "
+         "include writable objects)\n"
+         "       --csv=FILE (analyze: machine-readable report)\n"
+         "       --allow-unsound (campaign: run despite analyzer "
+         "violations)\n";
   return 2;
 }
 
@@ -119,6 +138,22 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (auto v = value("--retries=")) {
     args.retries = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--objects=")) {
+    std::stringstream ss(*v);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) args.objects.push_back(name);
+    }
+    return !args.objects.empty();
+  }
+  if (auto v = value("--csv=")) {
+    args.csv_path = *v;
+    return true;
+  }
+  if (a == "--allow-unsound") {
+    args.allow_unsound = true;
     return true;
   }
   return false;
@@ -193,13 +228,65 @@ int CmdTiming(CliArgs& args) {
   return 0;
 }
 
+int CmdAnalyze(CliArgs& args) {
+  auto app = apps::MakeApp(args.app, args.scale);
+  const auto profile = apps::ProfileApp(*app, args.cfg);
+  apps::ProtectionSetup setup;
+  if (!args.objects.empty()) {
+    setup = apps::MakeProtectionSetupForObjects(*app, profile, args.scheme,
+                                                args.objects);
+  } else {
+    const unsigned cover = args.cover.value_or(
+        static_cast<unsigned>(profile.hot.hot_objects.size()));
+    setup = apps::MakeProtectionSetup(*app, profile, args.scheme, cover);
+  }
+  analysis::AnalyzerInput in;
+  in.traces = &profile.traces;
+  in.space = &setup.dev->space();
+  in.plan = &setup.plan;
+  in.cfg = args.cfg;
+  // The Tier-1 spare pool a default-configured RecoveryManager would
+  // carve out next, so replica-vs-spare aliasing is checked for the
+  // layout a recovering campaign will actually run with.
+  const core::RecoveryConfig rc;
+  in.spare = analysis::SpareRegion{
+      setup.dev->space().Brk(),
+      std::uint64_t{rc.spare_blocks} * kBlockSize};
+  analysis::Report report = analysis::Analyze(in);
+  report.Append(analysis::CrossCheckHotClaims(profile.traces,
+                                              setup.dev->space(),
+                                              profile.hot));
+  std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
+            << " ranges=" << setup.plan.ranges.size() << " pcs="
+            << setup.plan.pcs.size() << "\n";
+  analysis::WriteText(report, std::cout);
+  if (!args.csv_path.empty()) {
+    std::ofstream os(args.csv_path);
+    if (!os) {
+      std::cerr << "cannot write " << args.csv_path << '\n';
+      return 1;
+    }
+    analysis::WriteCsv(report, os);
+    std::cout << "report saved to " << args.csv_path << '\n';
+  }
+  return report.ExitCode();
+}
+
 int CmdCampaign(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
   const auto profile = apps::ProfileApp(*app, args.cfg);
   unsigned cover = args.cover.value_or(
       static_cast<unsigned>(profile.hot.hot_objects.size()));
   if (args.scheme == sim::Scheme::kNone) cover = 0;
-  fault::FaultCampaign campaign(*app, profile, args.scheme, cover);
+  std::optional<fault::FaultCampaign> storage;
+  if (!args.objects.empty()) {
+    storage.emplace(*app, profile, args.scheme, args.objects,
+                    mem::EccMode::kNone, args.allow_unsound);
+  } else {
+    storage.emplace(*app, profile, args.scheme, cover, mem::EccMode::kNone,
+                    core::ReplicaPlacement::kDefault, args.allow_unsound);
+  }
+  fault::FaultCampaign& campaign = *storage;
   fault::CampaignConfig cc;
   cc.target = args.target;
   cc.faulty_blocks = args.blocks;
@@ -280,7 +367,7 @@ int main(int argc, char** argv) {
   args.command = argv[1];
   int i = 2;
   if (args.command == "profile" || args.command == "timing" ||
-      args.command == "campaign") {
+      args.command == "campaign" || args.command == "analyze") {
     if (argc < 3 || argv[2][0] == '-') return Usage();
     args.app = argv[2];
     i = 3;
@@ -303,6 +390,14 @@ int main(int argc, char** argv) {
     if (args.command == "timing") return CmdTiming(args);
     if (args.command == "campaign") return CmdCampaign(args);
     if (args.command == "recover") return CmdRecover(args);
+    if (args.command == "analyze") return CmdAnalyze(args);
+  } catch (const analysis::UnsoundPlanError& e) {
+    // The campaign-launch gate refused an uncertifiable plan. Print
+    // the full report so the misconfiguration is diagnosable, and exit
+    // with the analyzer's violation code.
+    std::cerr << "error: " << e.what() << '\n';
+    analysis::WriteText(e.report(), std::cerr);
+    return analysis::kExitViolations;
   } catch (const core::DetectionTerminated& e) {
     // A reliability outcome, not a tool failure: report what the
     // detection hardware saw and exit distinctly so scripts can tell
