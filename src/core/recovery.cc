@@ -70,11 +70,12 @@ void RecoveryManager::BeginRun() {
   run_used_recovery_ = false;
   // Each campaign run is an independent fault scenario: carrying
   // retirements over would silently nullify the next run's injected
-  // faults. Offense counts (the repeat-offender memory) do persist.
+  // faults. Trial offense events reset too; the campaign engine has
+  // already merged them into its ledger.
   dev_->retired().Clear();
   spare_used_ = 0;
+  trial_offenses_.clear();
   for (const auto& e : escalated_) SeedEscalated(e);
-  ApplyPendingEscalations();
 }
 
 void RecoveryManager::RefreshRetiredFromSnapshot() {
@@ -209,28 +210,28 @@ void RecoveryManager::RecordOffense(Addr addr) {
       if (owner) break;
     }
   }
-  if (owner) ++offenses_[*owner];
+  if (owner) trial_offenses_.push_back(*owner);
 }
 
-void RecoveryManager::ApplyPendingEscalations() {
-  if (!cfg_.escalate || plane_ == nullptr) return;
+unsigned RecoveryManager::ApplyEscalations(const EscalationLedger& ledger) {
+  if (!cfg_.escalate || plane_ == nullptr) return 0;
   auto& plan = plane_->mutable_plan();
-  if (plan.scheme != sim::Scheme::kDetectOnly) return;
+  if (plan.scheme != sim::Scheme::kDetectOnly) return 0;
+  unsigned applied = 0;
   for (auto& range : plan.ranges) {
     if (plan.CopiesFor(range) != 1) continue;
     const auto owner = dev_->space().OwnerOf(range.base);
     if (!owner) continue;
-    const auto it = offenses_.find(*owner);
-    if (it == offenses_.end() || it->second < cfg_.escalate_threshold) {
-      continue;
-    }
+    if (ledger.OffenseCount(*owner) < cfg_.escalate_threshold) continue;
     const Addr rb = dev_->space().AllocateRaw(range.size);
     escalated_.push_back({rb, range.base, range.size});
     range.replica_base[1] = rb;
     range.copies = 2;
     ++stats_.escalations;
+    ++applied;
     SeedEscalated(escalated_.back());
   }
+  return applied;
 }
 
 void RecoveryManager::SeedEscalated(const EscalatedReplica& e) {

@@ -38,6 +38,33 @@
 
 namespace dcrm::core {
 
+// Campaign-lifetime repeat-offender memory: per-object offense counts
+// accumulated across trials. This is deliberately *not* owned by the
+// RecoveryManager — a manager holds per-trial state only (retirements,
+// attempt budget, trial offense events), so independent per-worker
+// managers can run trials concurrently while the campaign engine
+// merges their offense events into one ledger at deterministic epoch
+// boundaries (trial-index order, never scheduling order).
+class EscalationLedger {
+ public:
+  void Record(mem::ObjectId id, unsigned n = 1) { counts_[id] += n; }
+  void Merge(std::span<const mem::ObjectId> events) {
+    for (const mem::ObjectId id : events) ++counts_[id];
+  }
+  unsigned OffenseCount(mem::ObjectId id) const {
+    const auto it = counts_.find(id);
+    return it == counts_.end() ? 0u : it->second;
+  }
+  const std::unordered_map<mem::ObjectId, unsigned>& counts() const {
+    return counts_;
+  }
+  void Clear() { counts_.clear(); }
+  bool operator==(const EscalationLedger&) const = default;
+
+ private:
+  std::unordered_map<mem::ObjectId, unsigned> counts_;
+};
+
 struct RecoveryConfig {
   bool enabled = false;
   // Tier 0.
@@ -61,7 +88,38 @@ struct RecoveryStats {
   std::uint64_t backoff_units = 0;   // sum over retries of 2^(attempt-1)
   std::uint64_t escalations = 0;     // tier-2 detect-only -> vote upgrades
   std::uint64_t exhausted_runs = 0;  // retry budget / spare pool ran out
+
+  // Element-wise sum; campaign engines merge per-trial deltas with it.
+  RecoveryStats& operator+=(const RecoveryStats& o) {
+    scrubs += o.scrubs;
+    scrub_sticks += o.scrub_sticks;
+    arbitrations += o.arbitrations;
+    retired_blocks += o.retired_blocks;
+    retries += o.retries;
+    backoff_units += o.backoff_units;
+    escalations += o.escalations;
+    exhausted_runs += o.exhausted_runs;
+    return *this;
+  }
+
+  bool operator==(const RecoveryStats&) const = default;
 };
+
+// Element-wise difference of two monotone counter snapshots
+// (`after - before`): the work done between them.
+inline RecoveryStats StatsDelta(const RecoveryStats& after,
+                                const RecoveryStats& before) {
+  RecoveryStats d;
+  d.scrubs = after.scrubs - before.scrubs;
+  d.scrub_sticks = after.scrub_sticks - before.scrub_sticks;
+  d.arbitrations = after.arbitrations - before.arbitrations;
+  d.retired_blocks = after.retired_blocks - before.retired_blocks;
+  d.retries = after.retries - before.retries;
+  d.backoff_units = after.backoff_units - before.backoff_units;
+  d.escalations = after.escalations - before.escalations;
+  d.exhausted_runs = after.exhausted_runs - before.exhausted_runs;
+  return d;
+}
 
 // Cycle cost of the recovery actions, so the paper's "replication is
 // cheap" claim can be re-evaluated with recovery included. All values
@@ -93,11 +151,27 @@ class RecoveryManager {
   // call plane->AttachRecovery(this) to receive Tier-0 callbacks.
   void AttachPlane(ProtectedDataPlane* plane) { plane_ = plane; }
 
-  // Per-run lifecycle: resets attempt state, clears the retirement
-  // table (each campaign run is an independent fault scenario), and
-  // applies any pending Tier-2 escalations (offense counts persist
-  // across runs — the repeat-offender memory).
+  // Per-run (per-trial) lifecycle: resets attempt state, clears the
+  // retirement table and the trial's offense events (each campaign run
+  // is an independent fault scenario), and re-seeds previously
+  // escalated replicas from the snapshot. Escalation is *not* applied
+  // here: the campaign engine merges trial offense events into its
+  // EscalationLedger and calls ApplyEscalations at deterministic epoch
+  // boundaries.
   void BeginRun();
+
+  // Tier-2 escalation against the campaign's ledger: every detect-only
+  // range whose owning object has reached escalate_threshold offenses
+  // gains a second replica (detect-only -> vote). Iterates plan ranges
+  // in plan order, so replica allocation is deterministic. Returns the
+  // number of ranges newly escalated by this call.
+  unsigned ApplyEscalations(const EscalationLedger& ledger);
+
+  // Offense events recorded during the current trial (since the last
+  // BeginRun), in occurrence order, attributed to owning objects.
+  const std::vector<mem::ObjectId>& trial_offenses() const {
+    return trial_offenses_;
+  }
 
   // True when this run completed only through recovery actions
   // (arbitration, escalated-range correction, or re-execution) — the
@@ -144,7 +218,6 @@ class RecoveryManager {
   bool Scrub(Addr addr, const std::uint8_t* good, std::uint32_t size);
   bool RetireBlock(std::uint64_t block);
   void RecordOffense(Addr addr);
-  void ApplyPendingEscalations();
   void SeedEscalated(const EscalatedReplica& e);
 
   mem::DeviceMemory* dev_;
@@ -158,9 +231,10 @@ class RecoveryManager {
   unsigned attempt_ = 0;
   bool run_used_recovery_ = false;
 
-  // Repeat-offender memory, keyed by owning object id (persists across
-  // runs; drives Tier-2 escalation).
-  std::unordered_map<mem::ObjectId, unsigned> offenses_;
+  // Offense events of the current trial only, in occurrence order. The
+  // campaign-lifetime offense memory lives in the engine's
+  // EscalationLedger.
+  std::vector<mem::ObjectId> trial_offenses_;
   std::vector<EscalatedReplica> escalated_;
 };
 

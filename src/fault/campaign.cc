@@ -212,6 +212,11 @@ void FaultCampaign::EnableRecovery(const core::RecoveryConfig& cfg) {
   }
 }
 
+unsigned FaultCampaign::ApplyEscalations(
+    const core::EscalationLedger& ledger) {
+  return recovery_ ? recovery_->ApplyEscalations(ledger) : 0;
+}
+
 Outcome FaultCampaign::RunOnce(const std::vector<mem::StuckAtFault>& faults) {
   dev_.faults().Clear();
   for (const auto& f : faults) dev_.faults().Add(f);
@@ -293,8 +298,11 @@ CampaignCounts FaultCampaign::Run(const CampaignConfig& cfg) {
       }
       faults.insert(faults.end(), fs.begin(), fs.end());
     }
+    // Escalate repeat offenders recorded by earlier trials, then run.
+    if (recovery_) ApplyEscalations(ledger_);
     last_corrections_ = 0;
     const Outcome o = RunOnce(faults);
+    if (recovery_) ledger_.Merge(recovery_->trial_offenses());
     ++counts.runs;
     counts.corrections += last_corrections_;
     switch (o) {

@@ -133,12 +133,27 @@ class FaultCampaign {
   Outcome RunOnce(const std::vector<mem::StuckAtFault>& faults);
 
   // Turns on the detect-to-recover pipeline for subsequent runs.
-  // Offense counts and escalations persist across runs of this
-  // campaign (the repeat-offender memory). Run() calls this
-  // automatically when cfg.recovery.enabled is set.
+  // Run() calls this automatically when cfg.recovery.enabled is set.
   void EnableRecovery(const core::RecoveryConfig& cfg);
 
   const core::RecoveryManager* recovery() const { return recovery_.get(); }
+
+  // Campaign-lifetime repeat-offender memory (Tier 2). RunOnce only
+  // records offenses into the recovery manager's *per-trial* list;
+  // Run() merges that list here between trials and applies pending
+  // escalations before the next one. Keeping the two separate means a
+  // trial's bookkeeping can never alias campaign-lifetime state (the
+  // manager's old combined map conflated them). Tests driving RunOnce
+  // directly merge offense events into ledger() and call
+  // ApplyEscalations() themselves.
+  core::EscalationLedger& ledger() { return ledger_; }
+  const core::EscalationLedger& ledger() const { return ledger_; }
+
+  // Applies Tier-2 escalations pending in `ledger` (default: this
+  // campaign's own ledger) to this campaign's plan. Returns the
+  // number of ranges escalated to majority vote.
+  unsigned ApplyEscalations() { return ApplyEscalations(ledger_); }
+  unsigned ApplyEscalations(const core::EscalationLedger& ledger);
 
   const sim::ProtectionPlan& plan() const { return plan_; }
 
@@ -160,6 +175,7 @@ class FaultCampaign {
   std::vector<std::uint64_t> weighted_blocks_;
   std::vector<std::uint64_t> weight_prefix_;
   std::uint64_t last_corrections_ = 0;
+  core::EscalationLedger ledger_;
 };
 
 }  // namespace dcrm::fault

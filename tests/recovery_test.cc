@@ -101,12 +101,37 @@ TEST_F(BicgRecovery, RepeatOffenderEscalatesToVote) {
   rc.escalate_threshold = 2;
   c.EnableRecovery(rc);
   const auto f = FaultAt(RBase() + 3);
-  // Run 1 exhausts its budget and records two offenses against r;
-  // run 2 starts with r escalated to a majority vote, which corrects
-  // the fault without re-execution.
+  // Trial 1 exhausts its budget and records two offense events against
+  // r. RunOnce itself must not escalate — that is campaign-lifetime
+  // state, owned by the ledger and applied only at explicit epoch
+  // boundaries — so an identical trial 2 still detects. Once the
+  // engine merges the events and applies the ledger, r is escalated to
+  // a majority vote, which corrects the fault without re-execution.
   EXPECT_EQ(c.RunOnce({f}), Outcome::kDetected);
+  EXPECT_EQ(c.recovery()->trial_offenses().size(), 2u);
+  c.ledger().Merge(c.recovery()->trial_offenses());
+  EXPECT_EQ(c.RunOnce({f}), Outcome::kDetected);
+  EXPECT_EQ(c.recovery()->stats().escalations, 0u);
+  EXPECT_EQ(c.ApplyEscalations(), 1u);
   EXPECT_EQ(c.RunOnce({f}), Outcome::kRecovered);
   EXPECT_GE(c.recovery()->stats().escalations, 1u);
+}
+
+TEST_F(BicgRecovery, TrialOffensesResetPerTrialAndLeaveLedgerAlone) {
+  FaultCampaign c(*app_, *profile_, sim::Scheme::kDetectOnly, 2);
+  core::RecoveryConfig rc;
+  rc.enabled = true;
+  rc.arbitrate = false;
+  rc.retire = false;
+  rc.max_retries = 0;
+  c.EnableRecovery(rc);
+  EXPECT_EQ(c.RunOnce({FaultAt(RBase() + 3)}), Outcome::kDetected);
+  EXPECT_FALSE(c.recovery()->trial_offenses().empty());
+  // Per-trial state: a clean trial starts from zero offense events.
+  EXPECT_EQ(c.RunOnce({}), Outcome::kMasked);
+  EXPECT_TRUE(c.recovery()->trial_offenses().empty());
+  // Campaign-lifetime state: RunOnce never wrote to the ledger.
+  EXPECT_TRUE(c.ledger().counts().empty());
 }
 
 TEST_F(BicgRecovery, CleanRunStaysMaskedWithRecoveryEnabled) {
