@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
           : shape == fault::FaultShape::kColumn ? "column"
                                                 : "dram-row";
       for (const bool protect : {false, true}) {
-        fault::FaultCampaign campaign(
-            *app, profile,
+        auto campaign = bench::MakeCampaign(
+            name, scale, profile,
             protect ? sim::Scheme::kDetectCorrect : sim::Scheme::kNone,
-            protect ? hot : 0);
+            protect ? hot : 0, args.jobs);
         fault::CampaignConfig cc;
         cc.target = fault::Target::kMissWeighted;
         cc.shape = shape;

@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
         apps::RunTiming(*app, profile, cfg, setup.plan).cycles;
 
     for (unsigned budget : {0u, 1u, 2u, 3u}) {
-      // Fresh campaign per sweep point so the repeat-offender memory
+      // Fresh campaign per sweep point so the repeat-offender ledger
       // (Tier 2) starts cold each time.
-      fault::FaultCampaign campaign(*app, profile,
-                                    sim::Scheme::kDetectOnly, cover);
+      auto campaign = bench::MakeCampaign(
+          name, scale, profile, sim::Scheme::kDetectOnly, cover, args.jobs);
       fault::CampaignConfig cc;
       cc.target = fault::Target::kMissWeighted;
       cc.faulty_blocks = 1;

@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
     }
 
     for (const auto& pt : points) {
-      fault::FaultCampaign campaign(*app, profile, pt.scheme, pt.cover);
+      auto campaign = bench::MakeCampaign(name, scale, profile, pt.scheme,
+                                          pt.cover, args.jobs);
       for (unsigned blocks : {1u, 5u}) {
         for (unsigned bits : {2u, 4u}) {
           fault::CampaignConfig cc;

@@ -1,0 +1,87 @@
+// Parallel-campaign throughput: wall-clock for a Fig. 9-style
+// miss-weighted campaign at increasing worker counts, verifying at
+// every point that the merged counts are bit-identical to jobs=1.
+// This is the bench behind the engine's headline claim: campaign
+// throughput scales with cores while the statistics stay exactly
+// reproducible from the seed.
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <thread>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+#include "fault/parallel_campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kSmall);
+  const unsigned runs = args.runs ? args.runs : 1000;
+  const unsigned max_jobs =
+      args.jobs > 1 ? args.jobs
+                    : std::max(1u, std::thread::hardware_concurrency());
+  bench::PrintHeader(
+      "Parallel campaign speedup",
+      "One Fig. 9-style campaign (miss-weighted, 1 block x 2 bits, full "
+      "hot cover, detect+correct) fanned across increasing worker "
+      "counts. 'identical' checks the merged counts against jobs=1 "
+      "bit-for-bit. Set --jobs to cap the sweep (default: hardware "
+      "threads).",
+      args, runs, scale);
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  TextTable t({"app", "jobs", "runs", "SDC", "detected", "masked",
+               "wall ms", "speedup", "identical"});
+  for (const auto& name : bench::SelectApps(args, {std::string("P-BICG")})) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, bench::MakeGpuConfig(args));
+    const auto hot = static_cast<unsigned>(profile.hot.hot_objects.size());
+
+    fault::CampaignConfig cc;
+    cc.target = fault::Target::kMissWeighted;
+    cc.faulty_blocks = 1;
+    cc.bits_per_block = 2;
+    cc.runs = runs;
+    cc.seed = args.seed;
+
+    std::optional<fault::CampaignCounts> reference;
+    double serial_ms = 0;
+    for (unsigned jobs = 1; jobs <= max_jobs; jobs *= 2) {
+      auto campaign = bench::MakeCampaign(
+          name, scale, profile, sim::Scheme::kDetectCorrect, hot, jobs);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto counts = campaign.Run(cc);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (!reference) {
+        reference = counts;
+        serial_ms = ms;
+      }
+      t.NewRow()
+          .Add(name)
+          .Add(jobs)
+          .Add(counts.runs)
+          .Add(counts.sdc)
+          .Add(counts.detected)
+          .Add(counts.masked)
+          .Add(ms, 1)
+          .Add(serial_ms / ms, 2)
+          .Add(counts == *reference ? "yes" : "NO");
+      if (!(counts == *reference)) {
+        std::cerr << "determinism violation at jobs=" << jobs << "\n";
+        return 1;
+      }
+    }
+  }
+  bench::Emit(t, args);
+  std::cout
+      << "expectation: near-linear speedup up to the physical core count "
+         "(trials are independent kernel executions; the only barriers "
+         "are escalation epochs, absent here), with 'identical'=yes "
+         "everywhere — the merged counts are a pure function of the "
+         "seed, not of the worker count.\n";
+  return 0;
+}

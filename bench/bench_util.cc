@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/config_io.h"
 
@@ -49,9 +50,13 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.config_path = *v;
     } else if (a == "--csv") {
       args.csv = true;
+    } else if (auto v = value("--jobs=")) {
+      args.jobs = static_cast<unsigned>(std::stoul(*v));
+      if (args.jobs == 0) args.jobs = std::thread::hardware_concurrency();
+      if (args.jobs == 0) args.jobs = 1;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --runs=N --seed=N --scale=tiny|small|medium "
-                   "--apps=A,B --config=FILE --csv\n";
+                   "--apps=A,B --config=FILE --csv --jobs=N\n";
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown flag: " + a);
@@ -93,11 +98,27 @@ void PrintHeader(const std::string& title, const std::string& what,
             << "params: scale=" << ScaleName(effective_scale)
             << " seed=" << args.seed;
   if (effective_runs > 0) std::cout << " runs/config=" << effective_runs;
+  if (args.jobs > 1) std::cout << " jobs=" << args.jobs;
   std::cout << "\n\n";
 }
 
 void Emit(const TextTable& table, const BenchArgs& args) {
   std::cout << (args.csv ? table.RenderCsv() : table.Render()) << "\n";
+}
+
+fault::ParallelCampaign MakeCampaign(const std::string& app_name,
+                                     apps::AppScale scale,
+                                     const apps::ProfileResult& profile,
+                                     sim::Scheme scheme, unsigned cover,
+                                     unsigned jobs) {
+  fault::CampaignSpec spec;
+  spec.make_app = [app_name, scale] {
+    return apps::MakeApp(app_name, scale);
+  };
+  spec.profile = &profile;
+  spec.scheme = scheme;
+  spec.cover_objects = cover;
+  return {std::move(spec), jobs};
 }
 
 }  // namespace dcrm::bench

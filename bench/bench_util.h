@@ -7,6 +7,9 @@
 //   --apps=A,B,C      restrict to a subset of applications
 //   --config=FILE     hardware config file (see sim/config_io.h)
 //   --csv             emit CSV instead of aligned tables
+//   --jobs=N          parallel campaign workers (campaign benches;
+//                     0 = all hardware threads). Campaign results are
+//                     bit-identical at any N.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 
 #include "apps/registry.h"
 #include "common/table.h"
+#include "fault/parallel_campaign.h"
 #include "sim/config.h"
 
 namespace dcrm::bench {
@@ -28,6 +32,7 @@ struct BenchArgs {
   std::vector<std::string> apps;
   std::optional<std::string> config_path;  // --config=FILE (config_io)
   bool csv = false;
+  unsigned jobs = 1;  // campaign fan-out workers
 };
 
 BenchArgs ParseArgs(int argc, char** argv);
@@ -46,5 +51,14 @@ void PrintHeader(const std::string& title, const std::string& what,
 void Emit(const TextTable& table, const BenchArgs& args);
 
 const char* ScaleName(apps::AppScale s);
+
+// A coverage-order campaign fanned across args.jobs workers. One call
+// site per bench table cell keeps the campaign benches on the shared
+// deterministic engine instead of hand-rolled serial loops.
+fault::ParallelCampaign MakeCampaign(const std::string& app_name,
+                                     apps::AppScale scale,
+                                     const apps::ProfileResult& profile,
+                                     sim::Scheme scheme, unsigned cover,
+                                     unsigned jobs);
 
 }  // namespace dcrm::bench

@@ -1,0 +1,106 @@
+// A small fixed-size thread pool for deterministic fan-out.
+//
+// Deliberately work-stealing-free: callers partition their work into
+// per-lane chunks themselves (the campaign engine chunks trials by
+// trial index), dispatch one job per lane, and barrier. Nothing about
+// the pool's scheduling can influence which lane processes which work
+// item, which is what keeps parallel campaign results bit-identical to
+// the serial engine at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcrm {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` persistent workers (at least one).
+  explicit ThreadPool(unsigned threads) {
+    threads = threads == 0 ? 1 : threads;
+    seen_.assign(threads, 0);
+    workers_.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Runs job(lane) for every lane in [0, lanes) on the pool's workers
+  // (lane w on worker w; lanes must be <= size()) and blocks until all
+  // lanes finish. The first exception thrown by any lane is rethrown
+  // here after the barrier. Not reentrant: do not Dispatch from inside
+  // a job.
+  void Dispatch(unsigned lanes, const std::function<void(unsigned)>& job) {
+    if (lanes == 0) return;
+    std::unique_lock<std::mutex> lk(m_);
+    job_ = &job;
+    lanes_ = lanes;
+    pending_ = size();
+    ++generation_;
+    cv_work_.notify_all();
+    cv_done_.wait(lk, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void WorkerLoop(unsigned w) {
+    std::unique_lock<std::mutex> lk(m_);
+    std::uint64_t& seen = seen_[w];
+    for (;;) {
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (w < lanes_) {
+        const std::function<void(unsigned)>* job = job_;
+        lk.unlock();
+        try {
+          (*job)(w);
+        } catch (...) {
+          const std::lock_guard<std::mutex> elk(m_);
+          if (!error_) error_ = std::current_exception();
+        }
+        lk.lock();
+      }
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  unsigned lanes_ = 0;
+  unsigned pending_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::uint64_t> seen_;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace dcrm

@@ -8,8 +8,19 @@
 #include "analysis/analysis.h"
 #include "exec/launcher.h"
 #include "fault/fault_shapes.h"
+#include "fault/parallel_campaign.h"
 
 namespace dcrm::fault {
+
+std::uint64_t TrialSeed(std::uint64_t campaign_seed, std::uint64_t trial) {
+  // splitmix64 finalizer over the (seed, counter) pair. Rng::Seed runs
+  // its own splitmix rounds on top, so adjacent trials get
+  // uncorrelated xoshiro streams.
+  std::uint64_t z = campaign_seed + 0x9e3779b97f4a7c15ULL * (trial + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 FaultCampaign::FaultCampaign(apps::App& app,
                              const apps::ProfileResult& profile,
@@ -212,11 +223,6 @@ void FaultCampaign::EnableRecovery(const core::RecoveryConfig& cfg) {
   }
 }
 
-unsigned FaultCampaign::ApplyEscalations(
-    const core::EscalationLedger& ledger) {
-  return recovery_ ? recovery_->ApplyEscalations(ledger) : 0;
-}
-
 Outcome FaultCampaign::RunOnce(const std::vector<mem::StuckAtFault>& faults) {
   dev_.faults().Clear();
   for (const auto& f : faults) dev_.faults().Add(f);
@@ -260,86 +266,89 @@ Outcome FaultCampaign::RunOnce(const std::vector<mem::StuckAtFault>& faults) {
   }
 }
 
-CampaignCounts FaultCampaign::Run(const CampaignConfig& cfg) {
-  CampaignCounts counts;
-  if (cfg.recovery.enabled && !recovery_) EnableRecovery(cfg.recovery);
-  // The manager accumulates across Run calls; report this Run's delta.
+TrialResult FaultCampaign::RunTrial(const CampaignConfig& cfg,
+                                    std::uint64_t trial) {
+  // The trial's own counter-based stream: its faults depend only on
+  // (cfg.seed, trial), never on which trials ran before it.
+  Rng rng(TrialSeed(cfg.seed, trial));
+  const auto blocks = SelectBlocks(cfg.target, cfg.faulty_blocks, rng);
+  std::vector<mem::StuckAtFault> faults;
+  for (std::uint64_t block : blocks) {
+    // Restrict the target word to the owning object's bytes within
+    // the block: the allocator's tail padding is not application
+    // address space (matters for sub-block objects like a 36B
+    // filter or a 4B width scalar).
+    const Addr base = block * kBlockSize;
+    Addr hi = base + kBlockSize;
+    if (const auto owner = dev_.space().OwnerOf(base)) {
+      hi = std::min<Addr>(hi, dev_.space().Object(*owner).end());
+    }
+    std::vector<mem::StuckAtFault> fs;
+    switch (cfg.shape) {
+      case FaultShape::kWordBits:
+        fs = mem::MakeWordFaultsInRange(base, hi, cfg.bits_per_block, rng);
+        break;
+      case FaultShape::kColumn:
+        fs = MakeColumnFaults(base, hi, rng);
+        break;
+      case FaultShape::kDramRow: {
+        const sim::GpuConfig gc;
+        const sim::AddrMap map{gc.num_partitions, gc.dram_banks,
+                               gc.BlocksPerRow()};
+        fs = MakeDramRowFaults(block, map, dev_.space().StoreSize(), rng);
+        break;
+      }
+    }
+    faults.insert(faults.end(), fs.begin(), fs.end());
+  }
+
+  TrialResult result;
   const core::RecoveryStats before =
       recovery_ ? recovery_->stats() : core::RecoveryStats{};
-  Rng rng(cfg.seed);
-  for (unsigned r = 0; r < cfg.runs; ++r) {
-    const auto blocks = SelectBlocks(cfg.target, cfg.faulty_blocks, rng);
-    std::vector<mem::StuckAtFault> faults;
-    for (std::uint64_t block : blocks) {
-      // Restrict the target word to the owning object's bytes within
-      // the block: the allocator's tail padding is not application
-      // address space (matters for sub-block objects like a 36B
-      // filter or a 4B width scalar).
-      const Addr base = block * kBlockSize;
-      Addr hi = base + kBlockSize;
-      if (const auto owner = dev_.space().OwnerOf(base)) {
-        hi = std::min<Addr>(hi, dev_.space().Object(*owner).end());
-      }
-      std::vector<mem::StuckAtFault> fs;
-      switch (cfg.shape) {
-        case FaultShape::kWordBits:
-          fs = mem::MakeWordFaultsInRange(base, hi, cfg.bits_per_block, rng);
-          break;
-        case FaultShape::kColumn:
-          fs = MakeColumnFaults(base, hi, rng);
-          break;
-        case FaultShape::kDramRow: {
-          const sim::GpuConfig gc;
-          const sim::AddrMap map{gc.num_partitions, gc.dram_banks,
-                                 gc.BlocksPerRow()};
-          fs = MakeDramRowFaults(block, map, dev_.space().StoreSize(), rng);
-          break;
-        }
-      }
-      faults.insert(faults.end(), fs.begin(), fs.end());
-    }
-    // Escalate repeat offenders recorded by earlier trials, then run.
-    if (recovery_) ApplyEscalations(ledger_);
-    last_corrections_ = 0;
-    const Outcome o = RunOnce(faults);
-    if (recovery_) ledger_.Merge(recovery_->trial_offenses());
-    ++counts.runs;
-    counts.corrections += last_corrections_;
-    switch (o) {
-      case Outcome::kMasked:
-        ++counts.masked;
-        break;
-      case Outcome::kSdc:
-        ++counts.sdc;
-        break;
-      case Outcome::kDetected:
-        ++counts.detected;
-        break;
-      case Outcome::kDue:
-        ++counts.due;
-        break;
-      case Outcome::kCrash:
-        ++counts.crash;
-        break;
-      case Outcome::kRecovered:
-        ++counts.recovered;
-        break;
-    }
-  }
+  last_corrections_ = 0;
+  result.outcome = RunOnce(faults);
+  result.corrections = last_corrections_;
   if (recovery_) {
-    const core::RecoveryStats& after = recovery_->stats();
-    counts.recovery.scrubs = after.scrubs - before.scrubs;
-    counts.recovery.scrub_sticks = after.scrub_sticks - before.scrub_sticks;
-    counts.recovery.arbitrations = after.arbitrations - before.arbitrations;
-    counts.recovery.retired_blocks =
-        after.retired_blocks - before.retired_blocks;
-    counts.recovery.retries = after.retries - before.retries;
-    counts.recovery.backoff_units = after.backoff_units - before.backoff_units;
-    counts.recovery.escalations = after.escalations - before.escalations;
-    counts.recovery.exhausted_runs =
-        after.exhausted_runs - before.exhausted_runs;
+    result.recovery = core::StatsDelta(recovery_->stats(), before);
+    result.offenses = recovery_->trial_offenses();
   }
-  return counts;
+  return result;
+}
+
+unsigned FaultCampaign::ApplyEscalations(
+    const core::EscalationLedger& ledger) {
+  return recovery_ ? recovery_->ApplyEscalations(ledger) : 0;
+}
+
+void MergeTrialResult(CampaignCounts& counts, const TrialResult& r) {
+  ++counts.runs;
+  counts.corrections += r.corrections;
+  counts.recovery += r.recovery;
+  switch (r.outcome) {
+    case Outcome::kMasked:
+      ++counts.masked;
+      break;
+    case Outcome::kSdc:
+      ++counts.sdc;
+      break;
+    case Outcome::kDetected:
+      ++counts.detected;
+      break;
+    case Outcome::kDue:
+      ++counts.due;
+      break;
+    case Outcome::kCrash:
+      ++counts.crash;
+      break;
+    case Outcome::kRecovered:
+      ++counts.recovered;
+      break;
+  }
+}
+
+CampaignCounts FaultCampaign::Run(const CampaignConfig& cfg) {
+  FaultCampaign* self = this;
+  return RunCampaignTrials({&self, 1}, ledger_, nullptr, cfg);
 }
 
 }  // namespace dcrm::fault

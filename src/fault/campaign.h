@@ -68,7 +68,22 @@ struct CampaignConfig {
   // Detect-to-recover pipeline (core/recovery.h). Disabled by default:
   // the paper's detect-and-die behaviour.
   core::RecoveryConfig recovery;
+  // Trials per escalation epoch. Tier-2 repeat-offender escalation is
+  // the only cross-trial coupling in a campaign; applying it after
+  // every trial would serialize the engine. Instead, offense events
+  // are merged into the campaign ledger and escalations applied at
+  // fixed trial-index boundaries (every `escalation_epoch` trials), so
+  // the schedule is a pure function of the config — identical at any
+  // worker count. Ignored unless recovery escalation is active.
+  unsigned escalation_epoch = 16;
 };
+
+// Counter-based per-trial RNG stream seed: a splitmix64-style mix of
+// (campaign_seed, trial_index). Every trial draws from its own stream,
+// so trial T's faults do not depend on how many trials ran before it
+// or on which worker runs it — the property the parallel engine's
+// bit-for-bit determinism rests on.
+std::uint64_t TrialSeed(std::uint64_t campaign_seed, std::uint64_t trial);
 
 struct CampaignCounts {
   unsigned runs = 0;
@@ -86,7 +101,24 @@ struct CampaignCounts {
   ProportionCi SdcCi(double confidence = 0.95) const {
     return BinomialCi(sdc, runs, confidence);
   }
+
+  bool operator==(const CampaignCounts&) const = default;
 };
+
+// Everything one trial produces, self-contained so trials can run on
+// any worker and merge in trial-index order: the outcome, this trial's
+// vote-correction and recovery-stat deltas, and the offense events to
+// feed the campaign's EscalationLedger.
+struct TrialResult {
+  Outcome outcome = Outcome::kMasked;
+  std::uint64_t corrections = 0;
+  core::RecoveryStats recovery;
+  std::vector<mem::ObjectId> offenses;
+};
+
+// Merges one trial into the campaign totals. Pure addition, so the
+// merged counts are independent of trial execution order.
+void MergeTrialResult(CampaignCounts& counts, const TrialResult& r);
 
 // One campaign instance: the application with a fixed protection
 // configuration. Reuses a single device via store snapshot/restore so
@@ -124,36 +156,43 @@ class FaultCampaign {
                 mem::EccMode ecc = mem::EccMode::kNone,
                 bool allow_unsound = false);
 
+  // Runs the whole campaign serially: a thin jobs=1 call into the same
+  // trial/merge engine the parallel campaign uses (see
+  // fault/parallel_campaign.h), so serial and parallel results are
+  // bit-identical by construction.
   CampaignCounts Run(const CampaignConfig& cfg);
+
+  // Runs exactly one trial: builds that trial's faults from its own
+  // counter-based RNG stream (TrialSeed(cfg.seed, trial)) and executes
+  // it against this campaign's device. Touches per-trial state only —
+  // the campaign-lifetime ledger is updated by the engine, never here.
+  TrialResult RunTrial(const CampaignConfig& cfg, std::uint64_t trial);
 
   // Runs once with the given pre-selected faults (exposed for tests).
   // With recovery enabled this is the full tiered pipeline: scrub /
-  // arbitrate in place, retire + re-execute up to the retry budget,
-  // escalate repeat offenders.
+  // arbitrate in place, retire + re-execute up to the retry budget.
+  // Tier-2 escalation is *not* applied here: merge the trial's offense
+  // events into ledger() and call ApplyEscalations().
   Outcome RunOnce(const std::vector<mem::StuckAtFault>& faults);
 
-  // Turns on the detect-to-recover pipeline for subsequent runs.
-  // Run() calls this automatically when cfg.recovery.enabled is set.
-  void EnableRecovery(const core::RecoveryConfig& cfg);
-
-  const core::RecoveryManager* recovery() const { return recovery_.get(); }
-
-  // Campaign-lifetime repeat-offender memory (Tier 2). RunOnce only
-  // records offenses into the recovery manager's *per-trial* list;
-  // Run() merges that list here between trials and applies pending
-  // escalations before the next one. Keeping the two separate means a
-  // trial's bookkeeping can never alias campaign-lifetime state (the
-  // manager's old combined map conflated them). Tests driving RunOnce
-  // directly merge offense events into ledger() and call
-  // ApplyEscalations() themselves.
+  // Campaign-lifetime repeat-offender memory for serial Run() calls.
+  // (A ParallelCampaign owns one shared ledger for all its workers.)
   core::EscalationLedger& ledger() { return ledger_; }
   const core::EscalationLedger& ledger() const { return ledger_; }
 
   // Applies Tier-2 escalations pending in `ledger` (default: this
-  // campaign's own ledger) to this campaign's plan. Returns the
-  // number of ranges escalated to majority vote.
+  // campaign's own ledger) to this campaign's plan. Returns the number
+  // of ranges newly escalated. No-op until recovery is enabled.
   unsigned ApplyEscalations() { return ApplyEscalations(ledger_); }
   unsigned ApplyEscalations(const core::EscalationLedger& ledger);
+
+  // Turns on the detect-to-recover pipeline for subsequent runs.
+  // Offense counts and escalations persist across runs of this
+  // campaign (the repeat-offender memory). Run() calls this
+  // automatically when cfg.recovery.enabled is set.
+  void EnableRecovery(const core::RecoveryConfig& cfg);
+
+  const core::RecoveryManager* recovery() const { return recovery_.get(); }
 
   const sim::ProtectionPlan& plan() const { return plan_; }
 

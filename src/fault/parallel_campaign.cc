@@ -1,0 +1,122 @@
+#include "fault/parallel_campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcrm::fault {
+
+CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
+                                 core::EscalationLedger& ledger,
+                                 ThreadPool* pool,
+                                 const CampaignConfig& cfg) {
+  if (workers.empty()) {
+    throw std::invalid_argument("campaign engine needs at least one worker");
+  }
+  // Enable recovery on every worker up front (not lazily inside a
+  // trial): all workers must allocate their spare pools at the same
+  // point in their address-space lifetime so their layouts stay
+  // identical, wave after wave.
+  if (cfg.recovery.enabled) {
+    for (FaultCampaign* w : workers) {
+      if (w->recovery() == nullptr) w->EnableRecovery(cfg.recovery);
+    }
+  }
+
+  // Tier-2 escalation is the only cross-trial coupling; without it the
+  // whole campaign is one epoch.
+  const bool cross_trial = cfg.recovery.enabled && cfg.recovery.escalate;
+  const unsigned epoch = cross_trial && cfg.escalation_epoch > 0
+                             ? cfg.escalation_epoch
+                             : std::max(cfg.runs, 1u);
+
+  CampaignCounts counts;
+  std::vector<TrialResult> results(cfg.runs);
+  for (unsigned begin = 0; begin < cfg.runs; begin += epoch) {
+    const unsigned end = std::min(cfg.runs, begin + epoch);
+    // Epoch prologue: bring every worker's plan up to date with the
+    // ledger — escalations earned in earlier epochs (or earlier Run
+    // calls) apply here, identically on each worker, in plan order.
+    // Escalation work is campaign-level, so it is counted once (every
+    // worker necessarily applies the same set), not summed over
+    // workers.
+    if (cross_trial) {
+      unsigned applied_first = 0;
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        const unsigned applied = workers[w]->ApplyEscalations(ledger);
+        if (w == 0) applied_first = applied;
+      }
+      counts.recovery.escalations += applied_first;
+    }
+
+    // Chunked fan-out: worker w owns the contiguous trial range
+    // [begin + w*chunk, begin + (w+1)*chunk) — a pure function of the
+    // config, never of scheduling.
+    const unsigned span_n = end - begin;
+    const unsigned lanes =
+        std::min<unsigned>(static_cast<unsigned>(workers.size()), span_n);
+    const unsigned chunk = (span_n + lanes - 1) / lanes;
+    const auto run_lane = [&](unsigned w) {
+      const unsigned lo = begin + w * chunk;
+      const unsigned hi = std::min(end, lo + chunk);
+      for (unsigned t = lo; t < hi; ++t) {
+        results[t] = workers[w]->RunTrial(cfg, t);
+      }
+    };
+    if (pool != nullptr && lanes > 1) {
+      pool->Dispatch(lanes, run_lane);
+    } else {
+      for (unsigned w = 0; w < lanes; ++w) run_lane(w);
+    }
+
+    // Epoch epilogue: merge in trial-index order. The sums are
+    // order-independent, but merging in index order keeps the ledger's
+    // evolution identical to the serial engine's by inspection.
+    for (unsigned t = begin; t < end; ++t) {
+      MergeTrialResult(counts, results[t]);
+      ledger.Merge(results[t].offenses);
+    }
+  }
+  return counts;
+}
+
+ParallelCampaign::ParallelCampaign(CampaignSpec spec, unsigned jobs) {
+  if (!spec.make_app || spec.profile == nullptr) {
+    throw std::invalid_argument(
+        "ParallelCampaign needs an app factory and a profile");
+  }
+  jobs = std::max(jobs, 1u);
+  instances_.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) {
+    Worker inst;
+    inst.app = spec.make_app();
+    if (inst.app == nullptr) {
+      throw std::invalid_argument("CampaignSpec::make_app returned null");
+    }
+    // The analyzer launch gate certifies the plan once, on the first
+    // worker; the remaining workers are byte-identical replicas of a
+    // plan already proven sound, so re-analyzing per worker (let alone
+    // per trial) would only burn setup time.
+    const bool allow_unsound = w == 0 ? spec.allow_unsound : true;
+    if (!spec.object_names.empty()) {
+      inst.campaign = std::make_unique<FaultCampaign>(
+          *inst.app, *spec.profile, spec.scheme, spec.object_names, spec.ecc,
+          allow_unsound);
+    } else {
+      inst.campaign = std::make_unique<FaultCampaign>(
+          *inst.app, *spec.profile, spec.scheme, spec.cover_objects, spec.ecc,
+          spec.placement, allow_unsound);
+    }
+    instances_.push_back(std::move(inst));
+  }
+  workers_.reserve(instances_.size());
+  for (auto& inst : instances_) workers_.push_back(inst.campaign.get());
+  if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
+}
+
+ParallelCampaign::~ParallelCampaign() = default;
+
+CampaignCounts ParallelCampaign::Run(const CampaignConfig& cfg) {
+  return RunCampaignTrials(workers_, ledger_, pool_.get(), cfg);
+}
+
+}  // namespace dcrm::fault

@@ -1,0 +1,95 @@
+// Deterministic parallel fault-campaign engine.
+//
+// A fault campaign is embarrassingly parallel — trials are independent
+// kernel executions — except for two things the serial engine used to
+// hide: (a) every trial drew from one shared RNG, so trial T's faults
+// depended on all earlier trials, and (b) Tier-2 repeat-offender
+// escalation mutates the protection plan between trials. The engine
+// here removes both couplings without changing what a campaign means:
+//
+//  * every trial seeds its own counter-based RNG stream from
+//    TrialSeed(campaign_seed, trial_index);
+//  * trials are chunked by trial index across `jobs` workers, each a
+//    fully isolated campaign instance (own App, own DeviceMemory and
+//    snapshot, own ProtectedDataPlane, own RecoveryManager);
+//  * offense events merge into one EscalationLedger in trial-index
+//    order at fixed epoch boundaries (CampaignConfig::escalation_epoch),
+//    where every worker applies the same escalations in plan order.
+//
+// Consequence: CampaignCounts, per-tier recovery stats and the
+// repeat-offender ledger are a pure function of (config, seed) —
+// bit-identical at any worker count or scheduling, and
+// FaultCampaign::Run is literally this engine at jobs=1.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fault/campaign.h"
+
+namespace dcrm::fault {
+
+// Shared trial/merge engine. Runs cfg.runs trials chunked across
+// `workers` (all constructed identically), merging results in
+// trial-index order into the returned counts and offense events into
+// `ledger`. With a null `pool` or a single worker the loop runs inline
+// on the calling thread — the serial path.
+CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
+                                 core::EscalationLedger& ledger,
+                                 ThreadPool* pool, const CampaignConfig& cfg);
+
+// Everything one worker needs to build its private campaign instance.
+// `make_app` must return a fresh App each call (apps deterministically
+// initialize their objects, so every worker sees an identical address
+//-space layout).
+struct CampaignSpec {
+  std::function<std::unique_ptr<apps::App>()> make_app;
+  const apps::ProfileResult* profile = nullptr;
+  sim::Scheme scheme = sim::Scheme::kNone;
+  unsigned cover_objects = 0;
+  // Non-empty selects the explicit-objects constructor (the writable
+  // extension) and ignores cover_objects.
+  std::vector<std::string> object_names;
+  mem::EccMode ecc = mem::EccMode::kNone;
+  core::ReplicaPlacement placement = core::ReplicaPlacement::kDefault;
+  bool allow_unsound = false;
+};
+
+// N-worker front end over RunCampaignTrials. Construction builds the
+// workers (the analyzer launch gate runs exactly once, on the first
+// worker — fan-out replicas skip it) and the thread pool; Run fans the
+// campaign out and merges. The ledger persists across Run calls, like
+// the serial campaign's repeat-offender memory.
+class ParallelCampaign {
+ public:
+  ParallelCampaign(CampaignSpec spec, unsigned jobs);
+  ~ParallelCampaign();
+
+  // Movable (worker pointers target heap-owned campaigns, so they
+  // survive the move); not copyable.
+  ParallelCampaign(ParallelCampaign&&) = default;
+  ParallelCampaign& operator=(ParallelCampaign&&) = default;
+
+  CampaignCounts Run(const CampaignConfig& cfg);
+
+  unsigned jobs() const { return static_cast<unsigned>(workers_.size()); }
+  const core::EscalationLedger& ledger() const { return ledger_; }
+  // The first worker (the one the launch gate certified).
+  const FaultCampaign& front() const { return *workers_.front(); }
+
+ private:
+  struct Worker {
+    std::unique_ptr<apps::App> app;
+    std::unique_ptr<FaultCampaign> campaign;
+  };
+
+  std::vector<Worker> instances_;
+  std::vector<FaultCampaign*> workers_;
+  core::EscalationLedger ledger_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace dcrm::fault

@@ -9,6 +9,9 @@
 //   dcrm timing <app> [--scheme=..] [--cover=N]   cycle-level run
 //   dcrm campaign <app> [--target=hot|rest|miss] [--blocks=N] [--bits=N]
 //                 [--runs=N] [--scheme=none|detect|correct] [--cover=N]
+//                 [--jobs=N]   fan trials across N isolated workers
+//                              (0 = all hardware threads); results are
+//                              bit-identical at any N
 //   dcrm recover [<app>] [--retries=N] [campaign flags]
 //                 sweep re-execution retry budgets 0..N (0 = the paper's
 //                 detect-and-die) over one app or, with no app, all ten
@@ -30,6 +33,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analysis/analysis.h"
 #include "apps/driver.h"
@@ -37,6 +41,7 @@
 #include "core/profile_io.h"
 #include "core/recovery.h"
 #include "fault/campaign.h"
+#include "fault/parallel_campaign.h"
 #include "sim/config_io.h"
 
 namespace {
@@ -57,6 +62,7 @@ struct CliArgs {
   unsigned bits = 2;
   unsigned runs = 200;
   unsigned retries = 3;
+  unsigned jobs = 1;  // campaign worker count (0 = hardware threads)
   std::vector<std::string> objects;  // explicit cover (analyze, campaign)
   std::string csv_path;              // analyze: machine-readable report
   bool allow_unsound = false;        // campaign: skip the launch gate
@@ -72,6 +78,8 @@ int Usage() {
          "analyze)\n"
          "       --target=hot|rest|miss --blocks=N --bits=N --runs=N "
          "(campaign, recover)\n"
+         "       --jobs=N (campaign: parallel workers, 0 = hardware "
+         "threads; bit-identical results at any N)\n"
          "       --retries=N (recover: sweep budgets 0..N)\n"
          "       --objects=a,b,c (analyze, campaign: explicit cover, may "
          "include writable objects)\n"
@@ -138,6 +146,12 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (auto v = value("--retries=")) {
     args.retries = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--jobs=")) {
+    args.jobs = static_cast<unsigned>(std::stoul(*v));
+    if (args.jobs == 0) args.jobs = std::thread::hardware_concurrency();
+    if (args.jobs == 0) args.jobs = 1;
     return true;
   }
   if (auto v = value("--objects=")) {
@@ -278,15 +292,14 @@ int CmdCampaign(CliArgs& args) {
   unsigned cover = args.cover.value_or(
       static_cast<unsigned>(profile.hot.hot_objects.size()));
   if (args.scheme == sim::Scheme::kNone) cover = 0;
-  std::optional<fault::FaultCampaign> storage;
-  if (!args.objects.empty()) {
-    storage.emplace(*app, profile, args.scheme, args.objects,
-                    mem::EccMode::kNone, args.allow_unsound);
-  } else {
-    storage.emplace(*app, profile, args.scheme, cover, mem::EccMode::kNone,
-                    core::ReplicaPlacement::kDefault, args.allow_unsound);
-  }
-  fault::FaultCampaign& campaign = *storage;
+  fault::CampaignSpec spec;
+  spec.make_app = [&args] { return apps::MakeApp(args.app, args.scale); };
+  spec.profile = &profile;
+  spec.scheme = args.scheme;
+  spec.cover_objects = cover;
+  spec.object_names = args.objects;
+  spec.allow_unsound = args.allow_unsound;
+  fault::ParallelCampaign campaign(std::move(spec), args.jobs);
   fault::CampaignConfig cc;
   cc.target = args.target;
   cc.faulty_blocks = args.blocks;
@@ -298,11 +311,11 @@ int CmdCampaign(CliArgs& args) {
   std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
             << " cover=" << cover << " blocks=" << cc.faulty_blocks
             << " bits=" << cc.bits_per_block << " runs=" << counts.runs
-            << "\nSDC " << counts.sdc << " (" << 100 * ci.p << "% +/- "
-            << 100 * ci.margin << "%), detected " << counts.detected
-            << ", due " << counts.due << ", crash " << counts.crash
-            << ", masked " << counts.masked << ", corrections "
-            << counts.corrections << "\n";
+            << " jobs=" << campaign.jobs() << "\nSDC " << counts.sdc << " ("
+            << 100 * ci.p << "% +/- " << 100 * ci.margin << "%), detected "
+            << counts.detected << ", due " << counts.due << ", crash "
+            << counts.crash << ", masked " << counts.masked
+            << ", corrections " << counts.corrections << "\n";
   return 0;
 }
 
