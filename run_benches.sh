@@ -26,5 +26,6 @@ run $B/bench_ext_fault_shapes --runs=50
 run $B/bench_ext_online_detection
 run $B/bench_ext_writable --runs=50
 run $B/bench_ext_recovery --runs=40
+run $B/bench_parallel_speedup --runs=200
 run $B/bench_micro_components --benchmark_min_time=0.1
 echo ALL_BENCH_SWEEP_DONE
