@@ -45,9 +45,12 @@ int main(int argc, char** argv) {
             apps::RunTiming(*app, profile, cfg, prot.plan).cycles) /
         base_cycles;
 
+    // The RMT transform mutates warps, so round-trip the immutable
+    // store back to the legacy AoS form, duplicate, and replay.
     std::vector<trace::KernelTrace> rmt;
-    rmt.reserve(profile.traces.size());
-    for (const auto& k : profile.traces) {
+    const auto kernels = trace::ToKernelTraces(*profile.trace_store);
+    rmt.reserve(kernels.size());
+    for (const auto& k : kernels) {
       rmt.push_back(core::MakeRmtTrace(k));
     }
     sim::GpuConfig rmt_cfg = cfg;

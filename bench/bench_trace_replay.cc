@@ -1,0 +1,159 @@
+// TraceStore engineering bench: what the columnar refactor buys.
+//
+// Three measurements per app:
+//   1. trace memory footprint — the legacy nested-AoS KernelTrace
+//      representation (reconstructed via ToKernelTraces and measured
+//      with LegacyFootprintBytes) vs the columnar TraceStore, plus the
+//      serialized --save-trace size for reference. The acceptance bar
+//      is a >= 2x reduction in-memory.
+//   2. replay throughput — transactions/second through the timing
+//      model when the simulator walks the store's cursor API. The
+//      refactor must not slow the replay hot path.
+//   3. campaign wall-clock at --jobs=1 vs hardware threads, with the
+//      merged counts checked bit-identical — the immutable shared
+//      store plus shared CampaignTables is what makes the fan-out
+//      cheap, and determinism must survive it.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "apps/driver.h"
+#include "bench_util.h"
+#include "fault/parallel_campaign.h"
+#include "trace/trace_io.h"
+#include "trace/trace_store.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const auto args = bench::ParseArgs(argc, argv);
+  const auto scale = args.scale.value_or(apps::AppScale::kSmall);
+  const unsigned runs = args.runs ? args.runs : 200;
+  bench::PrintHeader(
+      "TraceStore footprint and replay throughput",
+      "Columnar trace artifact vs the legacy nested-AoS traces: "
+      "in-memory bytes (and the --save-trace file size), timing-replay "
+      "throughput over the cursor API, and campaign wall-clock at "
+      "jobs=1 vs hardware threads ('identical' = merged counts are "
+      "bit-identical).",
+      args, runs, scale);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "hardware threads: " << hw << "\n\n";
+
+  const sim::GpuConfig cfg = bench::MakeGpuConfig(args);
+
+  TextTable foot({"app", "AoS bytes", "store bytes", "ratio", "file bytes"});
+  TextTable replay({"app", "txns", "replays", "wall ms", "Mtxn/s"});
+  TextTable camp({"app", "jobs", "runs", "wall ms", "speedup", "identical"});
+  double worst_ratio = 0;
+  bool identical = true;
+
+  for (const auto& name :
+       bench::SelectApps(args, apps::PaperAppNames())) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, cfg);
+    const trace::TraceStore& store = *profile.trace_store;
+
+    // 1. Footprint. The AoS form is the round-trip reconstruction of
+    // the very same trace, so the comparison is content-identical.
+    const auto legacy = trace::ToKernelTraces(store);
+    const double aos =
+        static_cast<double>(trace::LegacyFootprintBytes(legacy));
+    const double col = static_cast<double>(store.FootprintBytes());
+    const double ratio = aos / col;
+    if (worst_ratio == 0 || ratio < worst_ratio) worst_ratio = ratio;
+    foot.NewRow()
+        .Add(name)
+        .Add(static_cast<std::uint64_t>(aos))
+        .Add(static_cast<std::uint64_t>(col))
+        .Add(ratio, 2)
+        .Add(static_cast<std::uint64_t>(
+            trace::SaveTraceToString(store).size()));
+
+    // 2. Replay throughput over the cursor API. Repeat until the
+    // sample is long enough to time on a shared box.
+    sim::GpuConfig replay_cfg = cfg;
+    replay_cfg.alu_cycles_per_mem = app->AluCyclesPerMem();
+    unsigned reps = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double ms = 0;
+    do {
+      sim::Gpu gpu(replay_cfg, {});
+      (void)gpu.Run(store);
+      ++reps;
+      ms = MillisSince(t0);
+    } while (ms < 50.0);
+    const double txns =
+        static_cast<double>(store.TotalTransactions()) * reps;
+    replay.NewRow()
+        .Add(name)
+        .Add(store.TotalTransactions())
+        .Add(reps)
+        .Add(ms, 1)
+        .Add(txns / (ms * 1e3), 2);
+  }
+
+  // 3. Campaign fan-out on one representative app: the workers share
+  // the one immutable store and the worker-0 CampaignTables.
+  for (const auto& name : bench::SelectApps(args, {std::string("P-BICG")})) {
+    auto app = apps::MakeApp(name, scale);
+    const auto profile = apps::ProfileApp(*app, cfg);
+    const auto hot = static_cast<unsigned>(profile.hot.hot_objects.size());
+    fault::CampaignConfig cc;
+    cc.target = fault::Target::kMissWeighted;
+    cc.faulty_blocks = 1;
+    cc.bits_per_block = 2;
+    cc.runs = runs;
+    cc.seed = args.seed;
+
+    fault::CampaignCounts reference{};
+    double serial_ms = 0;
+    for (const unsigned jobs : {1u, hw}) {
+      auto campaign = bench::MakeCampaign(
+          name, scale, profile, sim::Scheme::kDetectCorrect, hot, jobs);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto counts = campaign.Run(cc);
+      const double ms = MillisSince(t0);
+      if (jobs == 1) {
+        reference = counts;
+        serial_ms = ms;
+      }
+      identical = identical && counts == reference;
+      camp.NewRow()
+          .Add(name)
+          .Add(jobs)
+          .Add(counts.runs)
+          .Add(ms, 1)
+          .Add(serial_ms / ms, 2)
+          .Add(counts == reference ? "yes" : "NO");
+      if (jobs == hw) break;  // hw may be 1; don't run jobs=1 twice
+    }
+  }
+
+  bench::Emit(foot, args);
+  std::cout << '\n';
+  bench::Emit(replay, args);
+  std::cout << '\n';
+  bench::Emit(camp, args);
+  std::cout << "\nworst footprint ratio: " << worst_ratio
+            << "x (acceptance bar: >= 2x)\n";
+  std::cout << "expectation: every app's columnar trace is at least "
+               "half the AoS bytes (the block pool packs to 32-bit "
+               "block indices), replay throughput is unchanged vs the "
+               "AoS walk, and the fan-out stays bit-identical.\n";
+  if (worst_ratio < 2.0 || !identical) {
+    std::cerr << "ACCEPTANCE FAILURE: ratio " << worst_ratio
+              << " identical=" << (identical ? "yes" : "no") << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,8 @@
 set -euo pipefail
 B=build/bench
 run() { echo "========== $*"; "$@"; echo; }
+# Like run, but also snapshots the output into a committed results file.
+run_tee() { out=$1; shift; echo "========== $* (-> $out)"; "$@" | tee "$out"; echo; }
 run $B/bench_table1_config
 run $B/bench_table2_metrics
 run $B/bench_fig2_l2_trends
@@ -27,5 +29,6 @@ run $B/bench_ext_online_detection
 run $B/bench_ext_writable --runs=50
 run $B/bench_ext_recovery --runs=40
 run $B/bench_parallel_speedup --runs=200
+run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small --runs=200
 run $B/bench_micro_components --benchmark_min_time=0.1
 echo ALL_BENCH_SWEEP_DONE

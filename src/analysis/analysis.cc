@@ -21,10 +21,10 @@ std::string NameAt(const mem::AddressSpace& space, Addr a) {
   return os.str();
 }
 
-std::string KernelLabel(const trace::KernelTrace& kt, std::size_t index) {
-  if (!kt.name.empty()) return kt.name;
+std::string KernelLabel(const trace::KernelView& kv) {
+  if (!kv.name().empty()) return kv.name();
   std::ostringstream os;
-  os << "kernel#" << index;
+  os << "kernel#" << kv.index();
   return os.str();
 }
 
@@ -109,30 +109,32 @@ void Report::Append(std::vector<Finding> more) {
 }
 
 std::vector<Finding> CheckInterWarpRaces(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const sim::ProtectionPlan& plan) {
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const sim::ProtectionPlan& plan) {
   std::vector<Finding> out;
-  for (std::size_t k = 0; k < traces.size(); ++k) {
-    const trace::KernelTrace& kt = traces[k];
+  for (std::uint32_t k = 0; k < traces.NumKernels(); ++k) {
+    const trace::KernelView kt = traces.Kernel(k);
     // Kernel boundaries order all accesses, so sharing is tracked per
     // kernel and the maps reset between launches.
     std::unordered_map<Addr, BlockSharing> blocks;
-    for (const auto& wt : kt.warps) {
-      for (const auto& inst : wt.insts) {
+    for (std::uint32_t w = 0; w < kt.NumWarps(); ++w) {
+      const trace::WarpSlice wt = kt.Warp(w);
+      for (std::uint32_t i = 0; i < wt.NumInsts(); ++i) {
+        const trace::InstView inst = wt.Inst(i);
         for (const Addr b : inst.blocks) {
           BlockSharing& s = blocks[b];
           if (inst.type == AccessType::kStore) {
             if (!s.has_writer) {
               s.has_writer = true;
-              s.writer = wt.warp;
-            } else if (s.writer != wt.warp) {
+              s.writer = wt.warp();
+            } else if (s.writer != wt.warp()) {
               s.multi_writer = true;
             }
           } else {
             if (!s.has_reader) {
               s.has_reader = true;
-              s.reader = wt.warp;
-            } else if (s.reader != wt.warp) {
+              s.reader = wt.warp();
+            } else if (s.reader != wt.warp()) {
               s.multi_reader = true;
             }
           }
@@ -161,7 +163,7 @@ std::vector<Finding> CheckInterWarpRaces(
       f.addr = g.first;
       f.count = g.blocks;
       std::ostringstream d;
-      d << KernelLabel(kt, k) << ": " << g.blocks
+      d << KernelLabel(kt) << ": " << g.blocks
         << " 128B block(s) written by one warp and touched by another "
            "with no intervening kernel boundary";
       if (covered) {
@@ -184,8 +186,8 @@ std::vector<Finding> CheckInterWarpRaces(
 }
 
 std::vector<Finding> CertifyReadOnly(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const sim::ProtectionPlan& plan) {
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const sim::ProtectionPlan& plan) {
   std::vector<Finding> out;
   if (plan.scheme == sim::Scheme::kNone || plan.ranges.empty()) return out;
   struct Hit {
@@ -195,10 +197,15 @@ std::vector<Finding> CertifyReadOnly(
     Addr first = ~Addr{0};
   };
   std::vector<Hit> hits(plan.ranges.size());
-  for (std::size_t k = 0; k < traces.size(); ++k) {
-    const trace::KernelTrace& kt = traces[k];
-    for (const auto& wt : kt.warps) {
-      for (const auto& inst : wt.insts) {
+  for (std::uint32_t k = 0; k < traces.NumKernels(); ++k) {
+    const trace::KernelView kt = traces.Kernel(k);
+    // Kernels whose cached store-transaction total is zero cannot hit
+    // any protected range; skip their walk entirely.
+    if (kt.TotalStoreTransactions() == 0) continue;
+    for (std::uint32_t w = 0; w < kt.NumWarps(); ++w) {
+      const trace::WarpSlice wt = kt.Warp(w);
+      for (std::uint32_t i = 0; i < wt.NumInsts(); ++i) {
+        const trace::InstView inst = wt.Inst(i);
         if (inst.type != AccessType::kStore) continue;
         for (const Addr b : inst.blocks) {
           for (std::size_t r = 0; r < plan.ranges.size(); ++r) {
@@ -209,7 +216,7 @@ std::vector<Finding> CertifyReadOnly(
             Hit& h = hits[r];
             ++h.stores;
             h.pcs.insert(inst.pc);
-            h.kernels.insert(KernelLabel(kt, k));
+            h.kernels.insert(KernelLabel(kt));
             h.first = std::min(h.first, b);
           }
         }
@@ -338,9 +345,8 @@ std::vector<Finding> CheckReplicaLayout(const mem::AddressSpace& space,
 }
 
 std::vector<Finding> LintCapacity(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const sim::ProtectionPlan& plan,
-    const sim::GpuConfig& cfg) {
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const sim::ProtectionPlan& plan, const sim::GpuConfig& cfg) {
   std::vector<Finding> out;
   if (plan.scheme == sim::Scheme::kNone || plan.ranges.empty()) return out;
 
@@ -371,9 +377,12 @@ std::vector<Finding> LintCapacity(
   bool derived = false;
   if (tracked == 0) {
     std::set<Pc> pcs;
-    for (const auto& kt : traces) {
-      for (const auto& wt : kt.warps) {
-        for (const auto& inst : wt.insts) {
+    for (std::uint32_t k = 0; k < traces.NumKernels(); ++k) {
+      const trace::KernelView kt = traces.Kernel(k);
+      for (std::uint32_t w = 0; w < kt.NumWarps(); ++w) {
+        const trace::WarpSlice wt = kt.Warp(w);
+        for (std::uint32_t i = 0; i < wt.NumInsts(); ++i) {
+          const trace::InstView inst = wt.Inst(i);
           if (inst.type != AccessType::kLoad) continue;
           for (const Addr b : inst.blocks) {
             if (plan.Lookup(b) != nullptr) {
@@ -410,9 +419,12 @@ std::vector<Finding> LintCapacity(
   for (const auto& r : plan.ranges) {
     std::uint64_t insts = 0;
     std::uint64_t txns = 0;
-    for (const auto& kt : traces) {
-      for (const auto& wt : kt.warps) {
-        for (const auto& inst : wt.insts) {
+    for (std::uint32_t k = 0; k < traces.NumKernels(); ++k) {
+      const trace::KernelView kt = traces.Kernel(k);
+      for (std::uint32_t w = 0; w < kt.NumWarps(); ++w) {
+        const trace::WarpSlice wt = kt.Warp(w);
+        for (std::uint32_t i = 0; i < wt.NumInsts(); ++i) {
+          const trace::InstView inst = wt.Inst(i);
           if (inst.type != AccessType::kLoad) continue;
           std::uint64_t in_range = 0;
           for (const Addr b : inst.blocks) {
@@ -446,8 +458,8 @@ std::vector<Finding> LintCapacity(
 }
 
 std::vector<Finding> CrossCheckHotClaims(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const core::HotClassification& hot) {
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const core::HotClassification& hot) {
   std::vector<Finding> out;
   struct Claim {
     const mem::DataObject* obj;
@@ -460,9 +472,13 @@ std::vector<Finding> CrossCheckHotClaims(
     claims.push_back({&space.Object(op.id), 0, ~Addr{0}});
   }
   if (claims.empty()) return out;
-  for (const auto& kt : traces) {
-    for (const auto& wt : kt.warps) {
-      for (const auto& inst : wt.insts) {
+  for (std::uint32_t k = 0; k < traces.NumKernels(); ++k) {
+    const trace::KernelView kt = traces.Kernel(k);
+    if (kt.TotalStoreTransactions() == 0) continue;
+    for (std::uint32_t w = 0; w < kt.NumWarps(); ++w) {
+      const trace::WarpSlice wt = kt.Warp(w);
+      for (std::uint32_t i = 0; i < wt.NumInsts(); ++i) {
+        const trace::InstView inst = wt.Inst(i);
         if (inst.type != AccessType::kStore) continue;
         for (const Addr b : inst.blocks) {
           for (Claim& c : claims) {

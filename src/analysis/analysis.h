@@ -14,7 +14,7 @@
 //    replica start-address store) must not overflow.
 //
 // Every check consumes only static inputs — the coalesced per-warp
-// access streams (trace::KernelTrace), the address-space object map,
+// access streams (trace::TraceStore), the address-space object map,
 // and the protection plan — and emits machine-readable findings with
 // per-finding severity. Violations mean the configuration will produce
 // garbage results; warnings mean it leaves the paper's soundness
@@ -32,7 +32,7 @@
 #include "mem/address_space.h"
 #include "sim/config.h"
 #include "sim/replication.h"
-#include "trace/trace.h"
+#include "trace/trace_store.h"
 
 namespace dcrm::analysis {
 
@@ -84,7 +84,7 @@ struct SpareRegion {
 };
 
 struct AnalyzerInput {
-  const std::vector<trace::KernelTrace>* traces = nullptr;
+  const trace::TraceStore* traces = nullptr;
   const mem::AddressSpace* space = nullptr;
   const sim::ProtectionPlan* plan = nullptr;
   sim::GpuConfig cfg;
@@ -100,16 +100,16 @@ struct AnalyzerInput {
 // propagates stores; on unprotected data it is an informational
 // sharing diagnostic (reductions do this by design).
 std::vector<Finding> CheckInterWarpRaces(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const sim::ProtectionPlan& plan);
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const sim::ProtectionPlan& plan);
 
 // Read-only certification: proves no store of any kernel lands in a
 // protected range. A covered-but-stored-to object is always a
 // violation of the paper's scheme; the detail records whether the
 // store-propagation extension mitigates it.
 std::vector<Finding> CertifyReadOnly(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const sim::ProtectionPlan& plan);
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const sim::ProtectionPlan& plan);
 
 // Replica layout: every replica range must stay inside the backing
 // store and overlap neither named objects, protected primaries, other
@@ -124,17 +124,16 @@ std::vector<Finding> CheckReplicaLayout(const mem::AddressSpace& space,
 // protected (hot) objects — poorly coalesced hot loads multiply
 // replication traffic by the transaction fan-out.
 std::vector<Finding> LintCapacity(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const sim::ProtectionPlan& plan,
-    const sim::GpuConfig& cfg);
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const sim::ProtectionPlan& plan, const sim::GpuConfig& cfg);
 
 // Cross-check: every object the hot classifier marks read-only (the
 // Table III coverage order feeding MakeProtectionSetup) must indeed
 // never be stored to in the traces. Disagreement means the protection
 // planner would certify an unsound cover.
 std::vector<Finding> CrossCheckHotClaims(
-    const std::vector<trace::KernelTrace>& traces,
-    const mem::AddressSpace& space, const core::HotClassification& hot);
+    const trace::TraceStore& traces, const mem::AddressSpace& space,
+    const core::HotClassification& hot);
 
 // Runs race, read-only, layout and capacity checks.
 Report Analyze(const AnalyzerInput& in);

@@ -89,25 +89,37 @@ sim::GpuStats RunTiming(const App& app, const ProfileResult& profile,
                         sim::GpuConfig cfg, const sim::ProtectionPlan& plan) {
   cfg.alu_cycles_per_mem = app.AluCyclesPerMem();
   sim::Gpu gpu(cfg, plan);
-  return gpu.Run(profile.traces);
+  return gpu.Run(*profile.trace_store);
 }
 
 ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
-                         const core::HotConfig& hot_cfg) {
+                         const core::HotConfig& hot_cfg,
+                         std::shared_ptr<const trace::TraceStore> preloaded) {
   ProfileResult out;
   out.dev = std::make_unique<mem::DeviceMemory>();
   app.Setup(*out.dev);
   out.profiler.AttachSpace(&out.dev->space());
   exec::DirectDataPlane plane(*out.dev);
+  std::vector<trace::KernelTrace> traces;
   for (auto& k : app.Kernels()) {
     trace::TraceBuilder builder;
     out.profiler.BeginKernel(k.cfg);
+    // With a preloaded store the trace-building tee is skipped — the
+    // functional pass still feeds the profiler and the device state.
+    if (preloaded != nullptr) {
+      exec::LaunchKernel(k.cfg, plane, &out.profiler, k.body);
+      out.profiler.EndKernel();
+      continue;
+    }
     TeeSink tee(out.profiler, builder);
     exec::LaunchKernel(k.cfg, plane, &tee, k.body);
     out.profiler.EndKernel();
-    out.traces.push_back(builder.Build(k.cfg));
-    out.traces.back().name = k.name;
+    traces.push_back(builder.Build(k.cfg));
+    traces.back().name = k.name;
   }
+  out.trace_store = preloaded != nullptr
+                        ? std::move(preloaded)
+                        : trace::BuildStore(std::move(traces));
   // Miss profile from a baseline run of the cycle-level simulator:
   // with warps desynchronized by real memory latencies, hot blocks
   // miss roughly in proportion to their (huge) access counts whenever
@@ -119,7 +131,7 @@ ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
   miss_cfg.collect_block_misses = true;
   miss_cfg.alu_cycles_per_mem = app.AluCyclesPerMem();
   sim::Gpu miss_gpu(miss_cfg, sim::ProtectionPlan{});
-  out.timing_baseline = miss_gpu.Run(out.traces);
+  out.timing_baseline = miss_gpu.Run(*out.trace_store);
   {
     std::unordered_map<std::uint64_t, std::uint64_t> misses;
     for (const auto& [b, n] : out.timing_baseline.block_misses) {
@@ -127,7 +139,7 @@ ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
     }
     out.profiler.AttachMissProfile(misses);
   }
-  out.profiler.AttachTxnProfile(core::CountLoadTransactions(out.traces));
+  out.profiler.AttachTxnProfile(core::CountLoadTransactions(*out.trace_store));
   out.hot = core::ClassifyHot(out.profiler, out.dev->space(), hot_cfg);
   out.golden = ReadOutputs(app, *out.dev);
   return out;

@@ -14,14 +14,16 @@
 #include "sim/config.h"
 #include "sim/gpu.h"
 #include "sim/stats.h"
-#include "trace/trace.h"
+#include "trace/trace_store.h"
 
 namespace dcrm::apps {
 
 struct ProfileResult {
   std::unique_ptr<mem::DeviceMemory> dev;  // populated, fault-free state
   core::AccessProfiler profiler;
-  std::vector<trace::KernelTrace> traces;
+  // Immutable columnar trace artifact, shared by every downstream layer
+  // (timing replay, analyzer, campaign workers) without copying.
+  std::shared_ptr<const trace::TraceStore> trace_store;
   core::HotClassification hot;
   // Baseline timing-simulation stats (also the Fig. 8 miss profile).
   sim::GpuStats timing_baseline;
@@ -29,9 +31,15 @@ struct ProfileResult {
 };
 
 // Runs `app` fault-free with profiling, trace collection, the
-// functional L1-miss replay, and hot classification.
+// functional L1-miss replay, and hot classification. When `preloaded`
+// is non-null (a store read back via trace::LoadTrace), the functional
+// re-execution still runs — the profiler and golden outputs need it —
+// but the trace-building pass is skipped and the loaded store is used
+// for the miss replay, transaction counts, and everything downstream.
 ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
-                         const core::HotConfig& hot_cfg = {});
+                         const core::HotConfig& hot_cfg = {},
+                         std::shared_ptr<const trace::TraceStore> preloaded =
+                             nullptr);
 
 // Builds a hardware protection plan for the first `cover_objects`
 // entries of the app's Table III coverage order, with replicas

@@ -109,11 +109,14 @@ void AccessProfiler::AttachTxnProfile(
 }
 
 std::unordered_map<std::uint64_t, std::uint64_t> CountLoadTransactions(
-    const std::vector<trace::KernelTrace>& kernels) {
+    const trace::TraceStore& store) {
   std::unordered_map<std::uint64_t, std::uint64_t> txns;
-  for (const auto& k : kernels) {
-    for (const auto& w : k.warps) {
-      for (const auto& inst : w.insts) {
+  for (std::uint32_t k = 0; k < store.NumKernels(); ++k) {
+    const trace::KernelView kv = store.Kernel(k);
+    for (std::uint32_t w = 0; w < kv.NumWarps(); ++w) {
+      const trace::WarpSlice ws = kv.Warp(w);
+      for (std::uint32_t i = 0; i < ws.NumInsts(); ++i) {
+        const trace::InstView inst = ws.Inst(i);
         if (inst.type != AccessType::kLoad) continue;
         for (Addr b : inst.blocks) ++txns[BlockOf(b)];
       }
@@ -171,32 +174,34 @@ std::vector<ObjectProfile> AggregateByObject(const AccessProfiler& prof,
 }
 
 std::unordered_map<std::uint64_t, std::uint64_t> ReplayL1Misses(
-    const std::vector<trace::KernelTrace>& kernels, std::uint32_t num_sms,
+    const trace::TraceStore& store, std::uint32_t num_sms,
     std::uint32_t l1_sets, std::uint32_t l1_ways) {
   std::unordered_map<std::uint64_t, std::uint64_t> misses;
   std::vector<sim::TagArray> l1s;
   l1s.reserve(num_sms);
   for (std::uint32_t s = 0; s < num_sms; ++s) l1s.emplace_back(l1_sets, l1_ways);
 
-  for (const auto& kernel : kernels) {
-    // Group warp traces per SM (CTA round-robin), then interleave the
+  for (std::uint32_t k = 0; k < store.NumKernels(); ++k) {
+    const trace::KernelView kernel = store.Kernel(k);
+    // Group warp slices per SM (CTA round-robin), then interleave the
     // warps of each SM round-robin, one instruction at a time — an
     // order-of-magnitude approximation of the loose round-robin
     // scheduler that is enough for a miss *profile*.
-    std::vector<std::vector<const trace::WarpTrace*>> per_sm(num_sms);
-    for (const auto& w : kernel.warps) {
-      per_sm[w.cta % num_sms].push_back(&w);
+    std::vector<std::vector<trace::WarpSlice>> per_sm(num_sms);
+    for (std::uint32_t w = 0; w < kernel.NumWarps(); ++w) {
+      const trace::WarpSlice ws = kernel.Warp(w);
+      per_sm[ws.cta() % num_sms].push_back(ws);
     }
     for (std::uint32_t s = 0; s < num_sms; ++s) {
       auto& warps = per_sm[s];
-      std::vector<std::size_t> cursor(warps.size(), 0);
+      std::vector<std::uint32_t> cursor(warps.size(), 0);
       bool any = true;
       while (any) {
         any = false;
         for (std::size_t wi = 0; wi < warps.size(); ++wi) {
-          if (cursor[wi] >= warps[wi]->insts.size()) continue;
+          if (cursor[wi] >= warps[wi].NumInsts()) continue;
           any = true;
-          const auto& inst = warps[wi]->insts[cursor[wi]++];
+          const trace::InstView inst = warps[wi].Inst(cursor[wi]++);
           for (Addr block : inst.blocks) {
             const bool is_store = inst.type == AccessType::kStore;
             // Write-through no-allocate L1: stores don't allocate and

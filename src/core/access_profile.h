@@ -14,7 +14,7 @@
 
 #include "exec/kernel.h"
 #include "mem/address_space.h"
-#include "trace/trace.h"
+#include "trace/trace_store.h"
 
 namespace dcrm::core {
 
@@ -124,9 +124,9 @@ struct ObjectProfile {
 std::vector<ObjectProfile> AggregateByObject(const AccessProfiler& prof,
                                              const mem::AddressSpace& space);
 
-// Per-block coalesced load-transaction counts from kernel traces.
+// Per-block coalesced load-transaction counts from the trace store.
 std::unordered_map<std::uint64_t, std::uint64_t> CountLoadTransactions(
-    const std::vector<trace::KernelTrace>& kernels);
+    const trace::TraceStore& store);
 
 // Functional L1 replay: runs the coalesced traces through per-SM L1
 // tag arrays (CTAs round-robin across SMs, warps round-robin within an
@@ -135,7 +135,7 @@ std::unordered_map<std::uint64_t, std::uint64_t> CountLoadTransactions(
 // understates hot-block misses; the fault-exposure weighting uses
 // CountLoadTransactions instead — see fault/campaign.cc).
 std::unordered_map<std::uint64_t, std::uint64_t> ReplayL1Misses(
-    const std::vector<trace::KernelTrace>& kernels, std::uint32_t num_sms,
+    const trace::TraceStore& store, std::uint32_t num_sms,
     std::uint32_t l1_sets, std::uint32_t l1_ways);
 
 }  // namespace dcrm::core

@@ -27,7 +27,8 @@ FaultCampaign::FaultCampaign(apps::App& app,
                              sim::Scheme scheme, unsigned cover_objects,
                              mem::EccMode ecc,
                              core::ReplicaPlacement placement,
-                             bool allow_unsound)
+                             bool allow_unsound,
+                             std::shared_ptr<const CampaignTables> shared_tables)
     : app_(&app), profile_(&profile) {
   app_->Setup(dev_);
   dev_.set_ecc_mode(ecc);
@@ -49,14 +50,15 @@ FaultCampaign::FaultCampaign(apps::App& app,
         std::make_unique<core::ProtectedDataPlane>(dev_, plan_);
   }
 
-  FinishInit(allow_unsound);
+  FinishInit(allow_unsound, std::move(shared_tables));
 }
 
 FaultCampaign::FaultCampaign(apps::App& app,
                              const apps::ProfileResult& profile,
                              sim::Scheme scheme,
                              const std::vector<std::string>& object_names,
-                             mem::EccMode ecc, bool allow_unsound)
+                             mem::EccMode ecc, bool allow_unsound,
+                             std::shared_ptr<const CampaignTables> shared_tables)
     : app_(&app), profile_(&profile) {
   app_->Setup(dev_);
   dev_.set_ecc_mode(ecc);
@@ -80,10 +82,11 @@ FaultCampaign::FaultCampaign(apps::App& app,
     protected_plane_ =
         std::make_unique<core::ProtectedDataPlane>(dev_, plan_);
   }
-  FinishInit(allow_unsound);
+  FinishInit(allow_unsound, std::move(shared_tables));
 }
 
-void FaultCampaign::FinishInit(bool allow_unsound) {
+void FaultCampaign::FinishInit(
+    bool allow_unsound, std::shared_ptr<const CampaignTables> shared_tables) {
   const apps::ProfileResult& profile = *profile_;
 
   // Campaign-launch gate: certify the plan against the recorded access
@@ -93,7 +96,7 @@ void FaultCampaign::FinishInit(bool allow_unsound) {
   // the launch unless the caller explicitly opted out.
   if (!allow_unsound && plan_.scheme != sim::Scheme::kNone) {
     analysis::AnalyzerInput in;
-    in.traces = &profile.traces;
+    in.traces = profile.trace_store.get();
     in.space = &dev_.space();
     in.plan = &plan_;
     const analysis::Report report = analysis::Analyze(in);
@@ -108,10 +111,24 @@ void FaultCampaign::FinishInit(bool allow_unsound) {
       throw analysis::UnsoundPlanError(os.str(), report);
     }
   }
-  snapshot_.assign(dev_.space().Data(),
-                   dev_.space().Data() + dev_.space().StoreSize());
+  if (shared_tables != nullptr) {
+    // Fan-out replica of an identically-configured campaign: reuse its
+    // immutable tables. Apps initialize deterministically, so the only
+    // thing worth validating is that the store layouts agree.
+    if (shared_tables->snapshot.size() != dev_.space().StoreSize()) {
+      throw std::invalid_argument(
+          "shared campaign tables disagree with this device's store size");
+    }
+    tables_ = std::move(shared_tables);
+    return;
+  }
 
-  split_ = core::SplitBlocks(profile.hot, profile.profiler, dev_.space());
+  auto tables = std::make_shared<CampaignTables>();
+  tables->snapshot.assign(dev_.space().Data(),
+                          dev_.space().Data() + dev_.space().StoreSize());
+
+  tables->split = core::SplitBlocks(profile.hot, profile.profiler,
+                                    dev_.space());
 
   // Exposure-weighted sampling tables (the Fig. 8 selection step).
   // The weight of a block is its count of L2/DRAM-visible load
@@ -129,10 +146,11 @@ void FaultCampaign::FinishInit(bool allow_unsound) {
   for (const auto& [block, bp] : profile.profiler.blocks()) {
     const std::uint64_t w = have_txns ? bp.txns : bp.l1_misses;
     if (w == 0) continue;
-    weighted_blocks_.push_back(block);
+    tables->weighted_blocks.push_back(block);
     acc += w;
-    weight_prefix_.push_back(acc);
+    tables->weight_prefix.push_back(acc);
   }
+  tables_ = std::move(tables);
 }
 
 std::vector<float> FaultCampaign::ReadObservedOutputs() const {
@@ -165,11 +183,12 @@ std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
                                                        Rng& rng) const {
   // An app's hot set can be smaller than the requested block count
   // (A-Laplacian's hot objects span 3 blocks); inject into all of it.
+  const CampaignTables& t = *tables_;
   const std::size_t available = target == Target::kHotBlocks
-                                    ? split_.hot.size()
+                                    ? t.split.hot.size()
                                     : target == Target::kRestBlocks
-                                          ? split_.rest.size()
-                                          : weighted_blocks_.size();
+                                          ? t.split.rest.size()
+                                          : t.weighted_blocks.size();
   if (available == 0) {
     throw std::invalid_argument("no blocks in the requested target set");
   }
@@ -188,7 +207,7 @@ std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
       case Target::kHotBlocks:
       case Target::kRestBlocks: {
         const auto& list =
-            target == Target::kHotBlocks ? split_.hot : split_.rest;
+            target == Target::kHotBlocks ? t.split.hot : t.split.rest;
         if (list.empty()) {
           throw std::invalid_argument("no blocks in the requested target set");
         }
@@ -196,14 +215,14 @@ std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
         break;
       }
       case Target::kMissWeighted: {
-        if (weighted_blocks_.empty()) {
+        if (t.weighted_blocks.empty()) {
           throw std::invalid_argument("no L1-miss profile available");
         }
-        const std::uint64_t r = rng.Below(weight_prefix_.back());
-        const auto it = std::upper_bound(weight_prefix_.begin(),
-                                         weight_prefix_.end(), r);
-        block = weighted_blocks_[static_cast<std::size_t>(
-            it - weight_prefix_.begin())];
+        const std::uint64_t r = rng.Below(t.weight_prefix.back());
+        const auto it = std::upper_bound(t.weight_prefix.begin(),
+                                         t.weight_prefix.end(), r);
+        block = t.weighted_blocks[static_cast<std::size_t>(
+            it - t.weight_prefix.begin())];
         break;
       }
     }
@@ -216,7 +235,7 @@ std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
 
 void FaultCampaign::EnableRecovery(const core::RecoveryConfig& cfg) {
   recovery_ = std::make_unique<core::RecoveryManager>(dev_, cfg);
-  recovery_->SetSnapshot(snapshot_);
+  recovery_->SetSnapshot(tables_->snapshot);
   if (protected_plane_) {
     recovery_->AttachPlane(protected_plane_.get());
     protected_plane_->AttachRecovery(recovery_.get());
@@ -239,7 +258,8 @@ Outcome FaultCampaign::RunOnce(const std::vector<mem::StuckAtFault>& faults) {
   // and reproduces the paper's detect-and-die behaviour.
   for (;;) {
     // Restore the pristine store (inputs, zeroed outputs, replicas).
-    std::memcpy(dev_.space().Data(), snapshot_.data(), snapshot_.size());
+    const std::vector<std::byte>& snapshot = tables_->snapshot;
+    std::memcpy(dev_.space().Data(), snapshot.data(), snapshot.size());
     if (recovery_) recovery_->RefreshRetiredFromSnapshot();
     dev_.ResetEccCounters();
     try {

@@ -120,6 +120,19 @@ struct TrialResult {
 // merged counts are independent of trial execution order.
 void MergeTrialResult(CampaignCounts& counts, const TrialResult& r);
 
+// Campaign-lifetime immutable tables, derived once from (profile,
+// device layout) and shared read-only by every worker of a parallel
+// campaign: the pristine store image trials restore from, the
+// hot/rest block split, and the exposure-weighted sampling tables.
+// Per-worker mutable state shrinks to the device, the data plane and
+// the RecoveryManager.
+struct CampaignTables {
+  std::vector<std::byte> snapshot;  // pristine store image
+  core::BlockSplit split;           // hot / rest block lists
+  std::vector<std::uint64_t> weighted_blocks;
+  std::vector<std::uint64_t> weight_prefix;  // cumulative txn weights
+};
+
 // One campaign instance: the application with a fixed protection
 // configuration. Reuses a single device via store snapshot/restore so
 // a 1000-run campaign costs 1000 kernel executions, not 1000 setups.
@@ -136,12 +149,16 @@ class FaultCampaign {
   // aliasing, LD/ST-table overflow — throw analysis::UnsoundPlanError
   // unless `allow_unsound` is set, so an unsound campaign cannot
   // silently produce garbage statistics.
+  // `shared_tables` (optional) reuses another identically-configured
+  // campaign's immutable tables instead of rebuilding them — the
+  // parallel engine passes worker 0's tables to workers 1..N-1.
   FaultCampaign(apps::App& app, const apps::ProfileResult& profile,
                 sim::Scheme scheme, unsigned cover_objects,
                 mem::EccMode ecc = mem::EccMode::kNone,
                 core::ReplicaPlacement placement =
                     core::ReplicaPlacement::kDefault,
-                bool allow_unsound = false);
+                bool allow_unsound = false,
+                std::shared_ptr<const CampaignTables> shared_tables = nullptr);
 
   // Extension: protect an explicit set of objects by name, including
   // writable ones (store propagation keeps the copies coherent, and
@@ -154,7 +171,8 @@ class FaultCampaign {
                 sim::Scheme scheme,
                 const std::vector<std::string>& object_names,
                 mem::EccMode ecc = mem::EccMode::kNone,
-                bool allow_unsound = false);
+                bool allow_unsound = false,
+                std::shared_ptr<const CampaignTables> shared_tables = nullptr);
 
   // Runs the whole campaign serially: a thin jobs=1 call into the same
   // trial/merge engine the parallel campaign uses (see
@@ -196,8 +214,12 @@ class FaultCampaign {
 
   const sim::ProtectionPlan& plan() const { return plan_; }
 
+  // The campaign's immutable tables, shareable with fan-out replicas.
+  std::shared_ptr<const CampaignTables> tables() const { return tables_; }
+
  private:
-  void FinishInit(bool allow_unsound);
+  void FinishInit(bool allow_unsound,
+                  std::shared_ptr<const CampaignTables> shared_tables);
   std::vector<float> ReadObservedOutputs() const;
   std::vector<std::uint64_t> SelectBlocks(Target target, unsigned count,
                                           Rng& rng) const;
@@ -208,11 +230,8 @@ class FaultCampaign {
   sim::ProtectionPlan plan_;
   std::unique_ptr<core::ProtectedDataPlane> protected_plane_;
   std::unique_ptr<core::RecoveryManager> recovery_;
-  std::vector<std::byte> snapshot_;
-  core::BlockSplit split_;  // hot / rest block lists
-  // Miss-weighted sampling support.
-  std::vector<std::uint64_t> weighted_blocks_;
-  std::vector<std::uint64_t> weight_prefix_;
+  // Immutable after FinishInit; shared across parallel workers.
+  std::shared_ptr<const CampaignTables> tables_;
   std::uint64_t last_corrections_ = 0;
   core::EscalationLedger ledger_;
 };

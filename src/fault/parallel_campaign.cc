@@ -95,16 +95,20 @@ ParallelCampaign::ParallelCampaign(CampaignSpec spec, unsigned jobs) {
     // The analyzer launch gate certifies the plan once, on the first
     // worker; the remaining workers are byte-identical replicas of a
     // plan already proven sound, so re-analyzing per worker (let alone
-    // per trial) would only burn setup time.
+    // per trial) would only burn setup time. The replicas likewise
+    // reuse worker 0's immutable tables (snapshot, block split,
+    // sampling weights) instead of rebuilding them N times.
     const bool allow_unsound = w == 0 ? spec.allow_unsound : true;
+    const std::shared_ptr<const CampaignTables> shared =
+        w == 0 ? nullptr : instances_.front().campaign->tables();
     if (!spec.object_names.empty()) {
       inst.campaign = std::make_unique<FaultCampaign>(
           *inst.app, *spec.profile, spec.scheme, spec.object_names, spec.ecc,
-          allow_unsound);
+          allow_unsound, shared);
     } else {
       inst.campaign = std::make_unique<FaultCampaign>(
           *inst.app, *spec.profile, spec.scheme, spec.cover_objects, spec.ecc,
-          spec.placement, allow_unsound);
+          spec.placement, allow_unsound, shared);
     }
     instances_.push_back(std::move(inst));
   }

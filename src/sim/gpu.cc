@@ -1,7 +1,5 @@
 #include "sim/gpu.h"
 
-#include <deque>
-#include <map>
 #include <stdexcept>
 
 namespace dcrm::sim {
@@ -20,39 +18,34 @@ Gpu::Gpu(const GpuConfig& cfg, ProtectionPlan plan)
   }
 }
 
-GpuStats Gpu::Run(const std::vector<trace::KernelTrace>& kernels,
-                  std::uint64_t max_cycles) {
+GpuStats Gpu::Run(const trace::TraceStore& store, std::uint64_t max_cycles) {
   GpuStats stats;
-  for (const auto& k : kernels) RunKernel(k, stats, max_cycles);
+  for (std::uint32_t k = 0; k < store.NumKernels(); ++k) {
+    RunKernel(store.Kernel(k), stats, max_cycles);
+  }
   stats.cycles = cycle_;
   return stats;
 }
 
-void Gpu::RunKernel(const trace::KernelTrace& kernel, GpuStats& stats,
+GpuStats Gpu::Run(const std::vector<trace::KernelTrace>& kernels,
+                  std::uint64_t max_cycles) {
+  return Run(*trace::BuildStore(kernels), max_cycles);
+}
+
+void Gpu::RunKernel(const trace::KernelView& kernel, GpuStats& stats,
                     std::uint64_t max_cycles) {
   // Build the complete CTA list. Warps that never touched memory are
-  // absent from the trace but still occupy warp slots; give them empty
-  // traces so occupancy is faithful.
-  const std::uint32_t warps_per_cta = kernel.cfg.WarpsPerCta();
-  const std::uint64_t num_ctas = kernel.cfg.NumCtas();
-  // deque: stable addresses for the pointers handed to the SMs.
-  std::deque<trace::WarpTrace> empties;
-  std::map<WarpId, const trace::WarpTrace*> by_id;
-  for (const auto& w : kernel.warps) by_id[w.warp] = &w;
-
-  std::vector<std::vector<const trace::WarpTrace*>> ctas(num_ctas);
+  // absent from the trace but still occupy warp slots; FindWarp hands
+  // back an empty slice for them, so occupancy is faithful.
+  const std::uint32_t warps_per_cta = kernel.cfg().WarpsPerCta();
+  const std::uint64_t num_ctas = kernel.cfg().NumCtas();
+  std::vector<std::vector<trace::WarpSlice>> ctas(num_ctas);
   for (std::uint64_t c = 0; c < num_ctas; ++c) {
     auto& list = ctas[c];
     list.reserve(warps_per_cta);
     for (std::uint32_t w = 0; w < warps_per_cta; ++w) {
       const WarpId id = static_cast<WarpId>(c * warps_per_cta + w);
-      if (auto it = by_id.find(id); it != by_id.end()) {
-        list.push_back(it->second);
-      } else {
-        empties.push_back(trace::WarpTrace{id, static_cast<std::uint32_t>(c),
-                                           {}});
-        list.push_back(&empties.back());
-      }
+      list.push_back(kernel.FindWarp(id));
     }
   }
 

@@ -13,7 +13,7 @@
 #include "sim/replication.h"
 #include "sim/sm.h"
 #include "sim/stats.h"
-#include "trace/trace.h"
+#include "trace/trace_store.h"
 
 namespace dcrm::sim {
 
@@ -21,16 +21,21 @@ class Gpu {
  public:
   Gpu(const GpuConfig& cfg, ProtectionPlan plan);
 
-  // Simulates the kernels in order; returns accumulated statistics.
-  // Throws std::runtime_error if the simulation exceeds `max_cycles`
-  // (deadlock guard).
+  // Simulates the store's kernels in order; returns accumulated
+  // statistics. Throws std::runtime_error if the simulation exceeds
+  // `max_cycles` (deadlock guard).
+  GpuStats Run(const trace::TraceStore& store,
+               std::uint64_t max_cycles = 2'000'000'000ULL);
+
+  // Convenience for hand-built traces (tests): flattens into a store
+  // first. Replay order is identical either way.
   GpuStats Run(const std::vector<trace::KernelTrace>& kernels,
                std::uint64_t max_cycles = 2'000'000'000ULL);
 
   const ProtectionPlan& plan() const { return plan_; }
 
  private:
-  void RunKernel(const trace::KernelTrace& kernel, GpuStats& stats,
+  void RunKernel(const trace::KernelView& kernel, GpuStats& stats,
                  std::uint64_t max_cycles);
 
   GpuConfig cfg_;

@@ -20,7 +20,7 @@ bool SmCore::CanAcceptCta(std::uint32_t warps_in_cta) const {
                      [](std::int32_t s) { return s < 0; });
 }
 
-void SmCore::AddCta(const std::vector<const trace::WarpTrace*>& warps) {
+void SmCore::AddCta(const std::vector<trace::WarpSlice>& warps) {
   const auto slot_it =
       std::find_if(cta_slots_.begin(), cta_slots_.end(),
                    [](std::int32_t s) { return s < 0; });
@@ -29,7 +29,7 @@ void SmCore::AddCta(const std::vector<const trace::WarpTrace*>& warps) {
   }
   const auto slot = static_cast<std::uint32_t>(slot_it - cta_slots_.begin());
   *slot_it = static_cast<std::int32_t>(warps.size());
-  for (const trace::WarpTrace* wt : warps) {
+  for (const trace::WarpSlice& wt : warps) {
     WarpCtx ctx;
     ctx.tr = wt;
     ctx.age = next_age_++;
@@ -247,18 +247,18 @@ void SmCore::ProcessLdst(std::uint64_t now, Interconnect& icnt,
 }
 
 bool SmCore::CanIssue(const WarpCtx& w, std::uint64_t now) const {
-  if (w.done || w.tr == nullptr) return false;
-  if (w.next_inst >= w.tr->insts.size()) return false;
+  if (w.done) return false;
+  if (w.next_inst >= w.tr.NumInsts()) return false;
   if (w.inflight >= cfg_.max_warp_mlp) return false;
   if (now < w.ready_at) return false;
-  const trace::WarpMemInst& inst = w.tr->insts[w.next_inst];
+  const trace::InstView inst = w.tr.Inst(w.next_inst);
   return ldst_q_.size() + inst.blocks.size() <= kLdstQueueCap;
 }
 
 void SmCore::IssueOne(std::uint32_t idx, std::uint64_t now,
                       GpuStats& stats) {
   WarpCtx& w = warps_[idx];
-  const trace::WarpMemInst& inst = w.tr->insts[w.next_inst];
+  const trace::InstView inst = w.tr.Inst(w.next_inst);
   const bool is_store = inst.type == AccessType::kStore;
   for (Addr block : inst.blocks) {
     ldst_q_.push_back({block, idx, inst.pc, is_store});
@@ -280,9 +280,9 @@ void SmCore::IssueOne(std::uint32_t idx, std::uint64_t now,
 void SmCore::IssueWarps(std::uint64_t now, GpuStats& stats) {
   if (warps_.empty()) return;
   const auto n = static_cast<std::uint32_t>(warps_.size());
-  // Retire warps whose trace ran dry (including empty traces).
+  // Retire warps whose trace ran dry (including empty slices).
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (!warps_[i].done && warps_[i].tr != nullptr) RetireWarpIfDone(i);
+    if (!warps_[i].done) RetireWarpIfDone(i);
   }
   for (std::uint32_t slot = 0; slot < cfg_.issue_width; ++slot) {
     std::int32_t pick = -1;

@@ -18,7 +18,7 @@
 #include "sim/replication.h"
 #include "sim/stats.h"
 #include "sim/tag_array.h"
-#include "trace/trace.h"
+#include "trace/trace_store.h"
 
 namespace dcrm::sim {
 
@@ -28,7 +28,7 @@ class SmCore {
          const ProtectionPlan& plan);
 
   bool CanAcceptCta(std::uint32_t warps_in_cta) const;
-  void AddCta(const std::vector<const trace::WarpTrace*>& warps);
+  void AddCta(const std::vector<trace::WarpSlice>& warps);
 
   void Tick(std::uint64_t now, Interconnect& icnt, GpuStats& stats);
 
@@ -41,7 +41,7 @@ class SmCore {
 
  private:
   struct WarpCtx {
-    const trace::WarpTrace* tr = nullptr;
+    trace::WarpSlice tr;  // empty slice for warps the trace omitted
     std::uint32_t next_inst = 0;
     std::uint32_t pending = 0;      // outstanding blocking transactions
     std::uint32_t queued_txns = 0;  // transactions still in the LD/ST queue
@@ -52,9 +52,8 @@ class SmCore {
     bool done = false;
 
     bool Finished() const {
-      return tr == nullptr ||
-             (next_inst >= tr->insts.size() && pending == 0 &&
-              queued_txns == 0);
+      return next_inst >= tr.NumInsts() && pending == 0 &&
+             queued_txns == 0;
     }
   };
 

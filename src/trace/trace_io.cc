@@ -1,0 +1,286 @@
+#include "trace/trace_io.h"
+
+#include <cstdint>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <stdexcept>
+
+namespace dcrm::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'d', 'c', 'r', 'm', 't', 'r', 'c', '\n'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void Corrupt(const std::string& what) {
+  throw std::runtime_error("trace file: " + what);
+}
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+std::uint64_t Fnv1a(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Bounds-checked reader over the loaded payload; every read past the
+// end is a corruption, not undefined behaviour.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  std::uint32_t U32() {
+    Need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(Byte()) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t U64() {
+    Need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(Byte()) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t Varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      Need(1);
+      const std::uint8_t b = Byte();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    Corrupt("varint overruns 64 bits");
+  }
+
+  std::string Bytes(std::size_t n) {
+    Need(n);
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  void Skip(std::size_t n) {
+    Need(n);
+    pos_ += n;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void Need(std::size_t n) {
+    if (data_.size() - pos_ < n) Corrupt("truncated");
+  }
+  std::uint8_t Byte() {
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+// Counts must agree with what their varints later imply, and feeding
+// them to vector::reserve unchecked would let a short corrupt file
+// demand gigabytes; cap against the payload size (every element costs
+// at least one encoded byte).
+std::size_t CheckedCount(std::uint64_t n, std::size_t payload,
+                         const char* what) {
+  if (n > payload) Corrupt(std::string("implausible ") + what + " count");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::string SaveTraceToString(const TraceStore& store) {
+  const TraceStore::Columns& c = store.columns();
+  std::string out;
+  out.reserve(64 + c.inst_pc.size() * 3 + c.NumBlocks() * 2);
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(out, kVersion);
+  PutVarint(out, c.kernels.size());
+  PutVarint(out, c.warp_id.size());
+  PutVarint(out, c.inst_pc.size());
+  PutVarint(out, c.NumBlocks());
+  for (const TraceStore::KernelMeta& m : c.kernels) {
+    PutVarint(out, m.name.size());
+    out.append(m.name);
+    PutVarint(out, m.cfg.grid.x);
+    PutVarint(out, m.cfg.grid.y);
+    PutVarint(out, m.cfg.grid.z);
+    PutVarint(out, m.cfg.block.x);
+    PutVarint(out, m.cfg.block.y);
+    PutVarint(out, m.cfg.block.z);
+    PutVarint(out, m.warp_end - m.warp_begin);
+  }
+  for (std::size_t w = 0; w < c.warp_id.size(); ++w) {
+    PutVarint(out, c.warp_id[w]);
+    PutVarint(out, c.warp_cta[w]);
+    PutVarint(out, c.warp_inst_begin[w + 1] - c.warp_inst_begin[w]);
+  }
+  for (std::size_t i = 0; i < c.inst_pc.size(); ++i) {
+    PutVarint(out, c.inst_pc[i]);
+    PutVarint(out, (static_cast<std::uint64_t>(c.inst_lanes[i]) << 1) |
+                       (c.inst_is_store[i] != 0 ? 1 : 0));
+    PutVarint(out, c.inst_block_begin[i + 1] - c.inst_block_begin[i]);
+  }
+  // The on-disk form carries raw addresses (decoded from the packed
+  // pool if need be), so the format is independent of the in-memory
+  // packing decision.
+  Addr prev = 0;
+  for (std::size_t b = 0; b < c.NumBlocks(); ++b) {
+    const Addr addr = c.BlockAt(b);
+    PutVarint(out, ZigZag(static_cast<std::int64_t>(addr) -
+                          static_cast<std::int64_t>(prev)));
+    prev = addr;
+  }
+  PutU64(out, Fnv1a(out));
+  return out;
+}
+
+void SaveTrace(const TraceStore& store, std::ostream& os) {
+  const std::string data = SaveTraceToString(store);
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+std::shared_ptr<const TraceStore> LoadTraceFromString(
+    const std::string& data) {
+  if (data.size() < sizeof(kMagic) + 4 + 8) Corrupt("truncated");
+  if (data.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    Corrupt("bad magic");
+  }
+  const std::string body = data.substr(0, data.size() - 8);
+  Reader tail(data);
+  tail.Skip(data.size() - 8);
+  if (tail.U64() != Fnv1a(body)) Corrupt("checksum mismatch");
+
+  Reader r(body);
+  r.Skip(sizeof(kMagic));
+  const std::uint32_t version = r.U32();
+  if (version != kVersion) Corrupt("unsupported version");
+
+  const std::size_t payload = body.size();
+  const std::size_t num_kernels =
+      CheckedCount(r.Varint(), payload, "kernel");
+  const std::size_t num_warps = CheckedCount(r.Varint(), payload, "warp");
+  const std::size_t num_insts =
+      CheckedCount(r.Varint(), payload, "instruction");
+  const std::size_t num_blocks = CheckedCount(r.Varint(), payload, "block");
+
+  TraceStore::Columns c;
+  c.kernels.reserve(num_kernels);
+  c.warp_id.reserve(num_warps);
+  c.warp_cta.reserve(num_warps);
+  c.warp_inst_begin.reserve(num_warps + 1);
+  c.inst_pc.reserve(num_insts);
+  c.inst_is_store.reserve(num_insts);
+  c.inst_lanes.reserve(num_insts);
+  c.inst_block_begin.reserve(num_insts + 1);
+  std::vector<Addr> pool;
+  pool.reserve(num_blocks);
+
+  std::uint64_t warp_acc = 0;
+  for (std::size_t k = 0; k < num_kernels; ++k) {
+    TraceStore::KernelMeta m;
+    const std::size_t name_len =
+        CheckedCount(r.Varint(), payload, "kernel-name");
+    m.name = r.Bytes(name_len);
+    m.cfg.grid.x = static_cast<std::uint32_t>(r.Varint());
+    m.cfg.grid.y = static_cast<std::uint32_t>(r.Varint());
+    m.cfg.grid.z = static_cast<std::uint32_t>(r.Varint());
+    m.cfg.block.x = static_cast<std::uint32_t>(r.Varint());
+    m.cfg.block.y = static_cast<std::uint32_t>(r.Varint());
+    m.cfg.block.z = static_cast<std::uint32_t>(r.Varint());
+    m.warp_begin = static_cast<std::uint32_t>(warp_acc);
+    warp_acc += r.Varint();
+    if (warp_acc > num_warps) Corrupt("kernel warp count overruns total");
+    m.warp_end = static_cast<std::uint32_t>(warp_acc);
+    c.kernels.push_back(std::move(m));
+  }
+  if (warp_acc != num_warps) Corrupt("kernel warp counts disagree");
+
+  std::uint64_t inst_acc = 0;
+  c.warp_inst_begin.push_back(0);
+  for (std::size_t w = 0; w < num_warps; ++w) {
+    c.warp_id.push_back(static_cast<WarpId>(r.Varint()));
+    c.warp_cta.push_back(static_cast<std::uint32_t>(r.Varint()));
+    inst_acc += r.Varint();
+    if (inst_acc > num_insts) Corrupt("warp inst count overruns total");
+    c.warp_inst_begin.push_back(static_cast<std::uint32_t>(inst_acc));
+  }
+  if (inst_acc != num_insts) Corrupt("warp inst counts disagree");
+
+  std::uint64_t block_acc = 0;
+  c.inst_block_begin.push_back(0);
+  for (std::size_t i = 0; i < num_insts; ++i) {
+    c.inst_pc.push_back(static_cast<Pc>(r.Varint()));
+    const std::uint64_t packed = r.Varint();
+    c.inst_is_store.push_back(static_cast<std::uint8_t>(packed & 1));
+    c.inst_lanes.push_back(static_cast<std::uint32_t>(packed >> 1));
+    block_acc += r.Varint();
+    if (block_acc > num_blocks) Corrupt("inst block count overruns total");
+    c.inst_block_begin.push_back(static_cast<std::uint32_t>(block_acc));
+  }
+  if (block_acc != num_blocks) Corrupt("inst block counts disagree");
+
+  std::int64_t prev = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    prev += UnZigZag(r.Varint());
+    if (prev < 0) Corrupt("negative block address");
+    pool.push_back(static_cast<Addr>(prev));
+  }
+  if (r.remaining() != 0) Corrupt("trailing bytes");
+  AssignBlockPool(c, std::move(pool));
+
+  try {
+    return TraceStore::FromColumns(std::move(c));
+  } catch (const std::invalid_argument& e) {
+    Corrupt(e.what());
+  }
+}
+
+std::shared_ptr<const TraceStore> LoadTrace(std::istream& is) {
+  const std::string data((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  return LoadTraceFromString(data);
+}
+
+}  // namespace dcrm::trace

@@ -1,0 +1,39 @@
+// Binary persistence for TraceStore (`dcrm profile --save-trace` /
+// `--load-trace`): record the coalesced access streams once, then let
+// campaigns, analyzers and benches reload them instead of re-profiling.
+//
+// Format (version 1, little-endian):
+//   magic "dcrmtrc\n" (8 bytes), u32 version
+//   varint: num_kernels, num_warps, num_insts, num_blocks
+//   per kernel: varint name_len + bytes, 6 varints (grid/block dims),
+//               varint warp count
+//   per warp:   varint warp_id, cta, inst count
+//   per inst:   varint pc, varint (active_lanes<<1 | is_store),
+//               varint block count
+//   block pool: zigzag varint delta vs. the previous block address —
+//               warp access streams are local, so deltas are small
+//               multiples of the 128B block size and encode in 1-2
+//               bytes instead of 8
+//   u64 FNV-1a checksum over everything above
+//
+// LoadTrace rejects bad magic, unknown versions, truncation and
+// checksum mismatches with std::runtime_error; a loaded store is
+// validated by TraceStore::FromColumns like any other.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/trace_store.h"
+
+namespace dcrm::trace {
+
+void SaveTrace(const TraceStore& store, std::ostream& os);
+std::string SaveTraceToString(const TraceStore& store);
+
+// Throws std::runtime_error on malformed input.
+std::shared_ptr<const TraceStore> LoadTrace(std::istream& is);
+std::shared_ptr<const TraceStore> LoadTraceFromString(const std::string& data);
+
+}  // namespace dcrm::trace

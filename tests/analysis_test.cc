@@ -55,7 +55,7 @@ TEST(AnalyzeApps, EightProtectedAppsCertifyCleanAndTenAgreeWithHot) {
     // every coverage-order object the classifier claims read-only must
     // be store-free in the traces.
     const auto claims = analysis::CrossCheckHotClaims(
-        profile.traces, profile.dev->space(), profile.hot);
+        *profile.trace_store, profile.dev->space(), profile.hot);
     EXPECT_TRUE(claims.empty())
         << name << ": " << claims.size() << " hot-claim finding(s), first: "
         << (claims.empty() ? "" : claims.front().detail);
@@ -70,7 +70,7 @@ TEST(AnalyzeApps, EightProtectedAppsCertifyCleanAndTenAgreeWithHot) {
         *app, profile, sim::Scheme::kDetectOnly,
         static_cast<unsigned>(profile.hot.hot_objects.size()));
     analysis::AnalyzerInput in;
-    in.traces = &profile.traces;
+    in.traces = profile.trace_store.get();
     in.space = &setup.dev->space();
     in.plan = &setup.plan;
     const auto report = analysis::Analyze(in);
@@ -92,7 +92,7 @@ TEST(AnalyzeApps, GramschmidtWritablePlanIsReadOnlyViolation) {
       *app, profile, sim::Scheme::kDetectCorrect, cover);
   ASSERT_TRUE(setup.plan.propagate_stores);
   analysis::AnalyzerInput in;
-  in.traces = &profile.traces;
+  in.traces = profile.trace_store.get();
   in.space = &setup.dev->space();
   in.plan = &setup.plan;
   const auto report = analysis::Analyze(in);
@@ -118,7 +118,7 @@ TEST(AnalyzeApps, WritableCoverWithoutPropagationViolates) {
       dev.space(), replicas, sim::Scheme::kDetectOnly,
       /*lazy_compare=*/true, /*propagate_stores=*/false);
   const auto findings =
-      analysis::CertifyReadOnly(profile.traces, dev.space(), plan);
+      analysis::CertifyReadOnly(*profile.trace_store, dev.space(), plan);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].severity, Severity::kViolation);
   EXPECT_EQ(findings[0].subject, "tmp");
@@ -138,7 +138,8 @@ TEST(AnalyzeRaces, DeliberateInterWarpRaceIsFlagged) {
   const std::vector<trace::KernelTrace> traces{kt};
   const sim::ProtectionPlan none;
   const auto findings =
-      analysis::CheckInterWarpRaces(traces, dev.space(), none);
+      analysis::CheckInterWarpRaces(*trace::BuildStore(traces), dev.space(),
+                                    none);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].check, Check::kInterWarpRace);
   EXPECT_EQ(findings[0].severity, Severity::kInfo);  // unprotected data
@@ -159,13 +160,15 @@ TEST(AnalyzeRaces, RaceOnProtectedBlockIsViolation) {
   kt.warps.push_back(MakeWarp(1, 2, AccessType::kLoad, 0));
   const std::vector<trace::KernelTrace> traces{kt};
   const auto findings =
-      analysis::CheckInterWarpRaces(traces, dev.space(), plan);
+      analysis::CheckInterWarpRaces(*trace::BuildStore(traces), dev.space(),
+                                    plan);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].severity, Severity::kViolation);
   // The store-propagation extension downgrades it to a warning.
   plan.propagate_stores = true;
   const auto mitigated =
-      analysis::CheckInterWarpRaces(traces, dev.space(), plan);
+      analysis::CheckInterWarpRaces(*trace::BuildStore(traces), dev.space(),
+                                    plan);
   ASSERT_EQ(mitigated.size(), 1u);
   EXPECT_EQ(mitigated[0].severity, Severity::kWarning);
 }
@@ -178,20 +181,23 @@ TEST(AnalyzeRaces, SameWarpAndCrossKernelSharingAreNotRaces) {
   trace::KernelTrace same;
   same.warps.push_back(MakeWarp(0, 1, AccessType::kStore, 0));
   same.warps[0].insts.push_back({2, AccessType::kLoad, kWarpSize, {0}});
-  EXPECT_TRUE(analysis::CheckInterWarpRaces({same}, dev.space(), none)
+  EXPECT_TRUE(analysis::CheckInterWarpRaces(*trace::BuildStore({same}),
+                                            dev.space(), none)
                   .empty());
   // Writer and reader separated by a kernel boundary: ordered.
   trace::KernelTrace k1;
   k1.warps.push_back(MakeWarp(0, 1, AccessType::kStore, 0));
   trace::KernelTrace k2;
   k2.warps.push_back(MakeWarp(1, 2, AccessType::kLoad, 0));
-  EXPECT_TRUE(analysis::CheckInterWarpRaces({k1, k2}, dev.space(), none)
+  EXPECT_TRUE(analysis::CheckInterWarpRaces(*trace::BuildStore({k1, k2}),
+                                            dev.space(), none)
                   .empty());
   // Two warps reading the same block: sharing, not a race.
   trace::KernelTrace rr;
   rr.warps.push_back(MakeWarp(0, 1, AccessType::kLoad, 0));
   rr.warps.push_back(MakeWarp(1, 1, AccessType::kLoad, 0));
-  EXPECT_TRUE(analysis::CheckInterWarpRaces({rr}, dev.space(), none)
+  EXPECT_TRUE(analysis::CheckInterWarpRaces(*trace::BuildStore({rr}),
+                                            dev.space(), none)
                   .empty());
 }
 
@@ -203,7 +209,8 @@ TEST(AnalyzeRaces, WriteWriteSharingAcrossWarpsIsFlagged) {
   kt.warps.push_back(MakeWarp(3, 1, AccessType::kStore, 0));
   const sim::ProtectionPlan none;
   const auto findings =
-      analysis::CheckInterWarpRaces({kt}, dev.space(), none);
+      analysis::CheckInterWarpRaces(*trace::BuildStore({kt}), dev.space(),
+                                    none);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].count, 1u);
 }
@@ -295,15 +302,15 @@ TEST(AnalyzeCapacity, TableOverflowsAreFlagged) {
     const Addr rep = dev.space().AllocateRaw(kBlockSize);
     plan.ranges.push_back({obj.base, obj.size_bytes, {rep, 0}, 0});
   }
-  const std::vector<trace::KernelTrace> no_traces;
+  const auto no_traces = trace::BuildStore(std::vector<trace::KernelTrace>{});
   auto findings =
-      analysis::LintCapacity(no_traces, dev.space(), plan, cfg);
+      analysis::LintCapacity(*no_traces, dev.space(), plan, cfg);
   EXPECT_EQ(CountFindings(findings, Check::kCapacity, Severity::kViolation),
             1u);
   // PC-table overflow: 33 tracked load sites > 32 entries.
   plan.ranges.resize(16);
   for (Pc pc = 0; pc < 33; ++pc) plan.pcs.insert(pc);
-  findings = analysis::LintCapacity(no_traces, dev.space(), plan, cfg);
+  findings = analysis::LintCapacity(*no_traces, dev.space(), plan, cfg);
   EXPECT_EQ(CountFindings(findings, Check::kCapacity, Severity::kViolation),
             1u);
 }
@@ -324,8 +331,8 @@ TEST(AnalyzeCapacity, PoorCoalescingIsInformational) {
   for (unsigned b = 0; b < 32; ++b) inst.blocks.push_back(b * kBlockSize);
   wt.insts.push_back(inst);
   kt.warps.push_back(wt);
-  const auto findings =
-      analysis::LintCapacity({kt}, dev.space(), plan, sim::GpuConfig{});
+  const auto findings = analysis::LintCapacity(
+      *trace::BuildStore({kt}), dev.space(), plan, sim::GpuConfig{});
   ASSERT_EQ(CountFindings(findings, Check::kCoalescing, Severity::kInfo),
             1u);
   EXPECT_EQ(findings.back().count, 32u);
@@ -430,7 +437,7 @@ TEST(CampaignGate, RefusesUnsoundPlanUnlessAllowed) {
   EXPECT_EQ(profile.hot.coverage_order[0].name, "in");
   // ...the analyzer's cross-check does not.
   const auto claims = analysis::CrossCheckHotClaims(
-      profile.traces, profile.dev->space(), profile.hot);
+      *profile.trace_store, profile.dev->space(), profile.hot);
   ASSERT_EQ(claims.size(), 1u);
   EXPECT_EQ(claims[0].check, Check::kHotClaim);
   EXPECT_EQ(claims[0].severity, Severity::kViolation);

@@ -164,9 +164,10 @@ TEST(Profile, BicgCoverageOrderMatchesTableIII) {
 TEST(Profile, TracesCoverAllKernels) {
   auto app = MakeApp("P-MVT", AppScale::kTiny);
   const auto profile = ProfileApp(*app, Cfg());
-  EXPECT_EQ(profile.traces.size(), 2u);  // two kernels
-  for (const auto& t : profile.traces) {
-    EXPECT_GT(t.TotalMemInsts(), 0u);
+  ASSERT_NE(profile.trace_store, nullptr);
+  EXPECT_EQ(profile.trace_store->NumKernels(), 2u);  // two kernels
+  for (std::uint32_t k = 0; k < profile.trace_store->NumKernels(); ++k) {
+    EXPECT_GT(profile.trace_store->Kernel(k).TotalMemInsts(), 0u);
   }
 }
 

@@ -88,7 +88,7 @@ TEST(CountLoadTransactions, CountsPerBlockLoadsOnly) {
   wt.insts.push_back({2, AccessType::kLoad, 32, {0}});
   wt.insts.push_back({3, AccessType::kStore, 32, {0}});  // not counted
   kt.warps.push_back(wt);
-  const auto txns = CountLoadTransactions({kt});
+  const auto txns = CountLoadTransactions(*trace::BuildStore({kt}));
   EXPECT_EQ(txns.at(0), 2u);
   EXPECT_EQ(txns.at(1), 1u);
   EXPECT_EQ(txns.size(), 2u);
@@ -136,7 +136,7 @@ TEST(ReplayL1Misses, ColdMissesThenHits) {
   wt.insts.push_back({1, AccessType::kLoad, 32, {0}});
   wt.insts.push_back({2, AccessType::kLoad, 32, {kBlockSize}});
   kt.warps.push_back(wt);
-  const auto misses = ReplayL1Misses({kt}, 15, 32, 4);
+  const auto misses = ReplayL1Misses(*trace::BuildStore({kt}), 15, 32, 4);
   EXPECT_EQ(misses.at(0), 1u);
   EXPECT_EQ(misses.at(1), 1u);
 }

@@ -70,11 +70,11 @@ TEST(Driver, TimingUsesAppArithmeticIntensity) {
   const auto profile = ProfileApp(*app, Cfg());
   sim::GpuConfig lo = Cfg();
   sim::Gpu gpu_lo(lo, {});
-  const auto cyc_lo = gpu_lo.Run(profile.traces).cycles;
+  const auto cyc_lo = gpu_lo.Run(*profile.trace_store).cycles;
   sim::GpuConfig hi = Cfg();
   hi.alu_cycles_per_mem = 400;
   sim::Gpu gpu_hi(hi, {});
-  const auto cyc_hi = gpu_hi.Run(profile.traces).cycles;
+  const auto cyc_hi = gpu_hi.Run(*profile.trace_store).cycles;
   EXPECT_GT(cyc_hi, cyc_lo);
 }
 

@@ -4,8 +4,14 @@
 //   dcrm config                                print the default hardware
 //                                              config file (edit & pass back
 //                                              via --config=FILE)
-//   dcrm profile <app> [--save=FILE]           offline profiling run: hot
-//                                              classification + Table III
+//   dcrm profile <app> [--save=FILE] [--save-trace=FILE]
+//                                              offline profiling run: hot
+//                                              classification + Table III;
+//                                              --save-trace records the
+//                                              columnar trace store so later
+//                                              commands replay it via
+//                                              --load-trace without
+//                                              re-collecting
 //   dcrm timing <app> [--scheme=..] [--cover=N]   cycle-level run
 //   dcrm campaign <app> [--target=hot|rest|miss] [--blocks=N] [--bits=N]
 //                 [--runs=N] [--scheme=none|detect|correct] [--cover=N]
@@ -22,6 +28,8 @@
 //                 replica aliasing, LD/ST-table capacity) — no timing
 //                 simulation, no fault injection
 //   Common flags: --scale=tiny|small|medium  --config=FILE  --seed=N
+//                 --load-trace=FILE (profile/timing/campaign/analyze: reuse
+//                 a saved trace store instead of rebuilding traces)
 //
 // Exit codes: 0 success, 2 usage, 3 a run was terminated by the
 // detection scheme, 4 a run hit a SECDED uncorrectable error, 5 the
@@ -43,6 +51,8 @@
 #include "fault/campaign.h"
 #include "fault/parallel_campaign.h"
 #include "sim/config_io.h"
+#include "trace/trace_io.h"
+#include "trace/trace_store.h"
 
 namespace {
 
@@ -55,6 +65,8 @@ struct CliArgs {
   sim::GpuConfig cfg;
   std::uint64_t seed = 1;
   std::string save_path;
+  std::string save_trace_path;  // profile: binary trace-store output
+  std::string load_trace_path;  // reuse a saved trace store
   sim::Scheme scheme = sim::Scheme::kNone;
   std::optional<unsigned> cover;
   fault::Target target = fault::Target::kMissWeighted;
@@ -73,7 +85,8 @@ int Usage() {
       << "usage: dcrm <apps|config|profile|timing|campaign|recover|analyze> "
          "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
-         "       --save=FILE (profile)\n"
+         "       --save=FILE --save-trace=FILE (profile)\n"
+         "       --load-trace=FILE (profile, timing, campaign, analyze)\n"
          "       --scheme=none|detect|correct --cover=N (timing, campaign, "
          "analyze)\n"
          "       --target=hot|rest|miss --blocks=N --bits=N --runs=N "
@@ -108,6 +121,14 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (auto v = value("--seed=")) {
     args.seed = std::stoull(*v);
+    return true;
+  }
+  if (auto v = value("--save-trace=")) {
+    args.save_trace_path = *v;
+    return true;
+  }
+  if (auto v = value("--load-trace=")) {
+    args.load_trace_path = *v;
     return true;
   }
   if (auto v = value("--save=")) {
@@ -178,6 +199,17 @@ int CmdApps() {
   return 0;
 }
 
+// Reads a saved trace store when --load-trace was given, else null
+// (ProfileApp then collects traces itself).
+std::shared_ptr<const trace::TraceStore> MaybeLoadTrace(const CliArgs& args) {
+  if (args.load_trace_path.empty()) return nullptr;
+  std::ifstream is(args.load_trace_path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("cannot read " + args.load_trace_path);
+  }
+  return trace::LoadTrace(is);
+}
+
 int CmdConfig(const CliArgs& args) {
   std::cout << sim::DumpGpuConfig(args.cfg);
   return 0;
@@ -185,7 +217,8 @@ int CmdConfig(const CliArgs& args) {
 
 int CmdProfile(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
-  const auto profile = apps::ProfileApp(*app, args.cfg);
+  const auto profile =
+      apps::ProfileApp(*app, args.cfg, {}, MaybeLoadTrace(args));
   std::cout << args.app << ": knee ratio "
             << profile.hot.max_median_ratio << "x, hot pattern "
             << (profile.hot.has_hot_pattern ? "yes" : "no") << "\n";
@@ -211,12 +244,25 @@ int CmdProfile(CliArgs& args) {
     core::SaveProfile(profile.profiler, os);
     std::cout << "profile saved to " << args.save_path << '\n';
   }
+  if (!args.save_trace_path.empty()) {
+    std::ofstream os(args.save_trace_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "cannot write " << args.save_trace_path << '\n';
+      return 1;
+    }
+    trace::SaveTrace(*profile.trace_store, os);
+    std::cout << "trace store saved to " << args.save_trace_path << " ("
+              << profile.trace_store->FootprintBytes() << " bytes in memory, "
+              << profile.trace_store->TotalTransactions()
+              << " transactions)\n";
+  }
   return 0;
 }
 
 int CmdTiming(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
-  const auto profile = apps::ProfileApp(*app, args.cfg);
+  const auto profile =
+      apps::ProfileApp(*app, args.cfg, {}, MaybeLoadTrace(args));
   const unsigned cover = args.cover.value_or(
       static_cast<unsigned>(profile.hot.hot_objects.size()));
   const auto base =
@@ -244,7 +290,8 @@ int CmdTiming(CliArgs& args) {
 
 int CmdAnalyze(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
-  const auto profile = apps::ProfileApp(*app, args.cfg);
+  const auto profile =
+      apps::ProfileApp(*app, args.cfg, {}, MaybeLoadTrace(args));
   apps::ProtectionSetup setup;
   if (!args.objects.empty()) {
     setup = apps::MakeProtectionSetupForObjects(*app, profile, args.scheme,
@@ -255,7 +302,7 @@ int CmdAnalyze(CliArgs& args) {
     setup = apps::MakeProtectionSetup(*app, profile, args.scheme, cover);
   }
   analysis::AnalyzerInput in;
-  in.traces = &profile.traces;
+  in.traces = profile.trace_store.get();
   in.space = &setup.dev->space();
   in.plan = &setup.plan;
   in.cfg = args.cfg;
@@ -267,12 +314,13 @@ int CmdAnalyze(CliArgs& args) {
       setup.dev->space().Brk(),
       std::uint64_t{rc.spare_blocks} * kBlockSize};
   analysis::Report report = analysis::Analyze(in);
-  report.Append(analysis::CrossCheckHotClaims(profile.traces,
+  report.Append(analysis::CrossCheckHotClaims(*profile.trace_store,
                                               setup.dev->space(),
                                               profile.hot));
   std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
             << " ranges=" << setup.plan.ranges.size() << " pcs="
             << setup.plan.pcs.size() << "\n";
+  trace::WriteKernelStatsText(*profile.trace_store, std::cout);
   analysis::WriteText(report, std::cout);
   if (!args.csv_path.empty()) {
     std::ofstream os(args.csv_path);
@@ -281,6 +329,7 @@ int CmdAnalyze(CliArgs& args) {
       return 1;
     }
     analysis::WriteCsv(report, os);
+    trace::WriteKernelStatsCsv(*profile.trace_store, os);
     std::cout << "report saved to " << args.csv_path << '\n';
   }
   return report.ExitCode();
@@ -288,7 +337,8 @@ int CmdAnalyze(CliArgs& args) {
 
 int CmdCampaign(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
-  const auto profile = apps::ProfileApp(*app, args.cfg);
+  const auto profile =
+      apps::ProfileApp(*app, args.cfg, {}, MaybeLoadTrace(args));
   unsigned cover = args.cover.value_or(
       static_cast<unsigned>(profile.hot.hot_objects.size()));
   if (args.scheme == sim::Scheme::kNone) cover = 0;
@@ -316,6 +366,7 @@ int CmdCampaign(CliArgs& args) {
             << counts.detected << ", due " << counts.due << ", crash "
             << counts.crash << ", masked " << counts.masked
             << ", corrections " << counts.corrections << "\n";
+  trace::WriteKernelStatsText(*profile.trace_store, std::cout);
   return 0;
 }
 
