@@ -30,5 +30,19 @@ run $B/bench_ext_writable --runs=50
 run $B/bench_ext_recovery --runs=40
 run $B/bench_parallel_speedup --runs=200
 run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small --runs=200
+# Committed results_shard_campaign.txt is this bench at its default
+# 10^6 trials (`$B/bench_shard_campaign | tee results_shard_campaign.txt`,
+# ~10 min); the sweep runs a wall-clock-friendly count.
+run $B/bench_shard_campaign --runs=20000
 run $B/bench_micro_components --benchmark_min_time=0.1
+# Crash-tolerance contract: the atomic writers (trace stores, shard
+# results, manifests) must never leave `*.tmp.<pid>` siblings behind,
+# even across the injected worker kills above. Fail the sweep if any
+# bench orphaned one.
+orphans=$(find . -name '*.tmp.*' -not -path './build/*' 2>/dev/null)
+if [ -n "$orphans" ]; then
+  echo "FAIL: orphaned temp files left by the sweep:" >&2
+  echo "$orphans" >&2
+  exit 1
+fi
 echo ALL_BENCH_SWEEP_DONE

@@ -1,0 +1,148 @@
+// Shared little-endian binary encoding helpers for the repo's
+// checksummed artifact formats (trace stores, shard results, campaign
+// manifests): fixed-width integers, LEB128 varints, zigzag deltas, an
+// FNV-1a checksum and a bounds-checked reader whose every
+// out-of-bounds access is a reported corruption, never undefined
+// behaviour. Writers append to a std::string and seal it with
+// `AppendChecksum`; readers validate with `CheckedPayload` before
+// decoding a field.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dcrm::bin {
+
+inline void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+inline std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline std::uint64_t Fnv1a(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Seals a writer's buffer with the FNV-1a checksum of everything
+// written so far.
+inline void AppendChecksum(std::string& out) { PutU64(out, Fnv1a(out)); }
+
+// Bounds-checked reader over a loaded payload. `context` prefixes
+// every corruption message ("trace file: truncated").
+class Reader {
+ public:
+  Reader(std::string_view data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  [[noreturn]] void Corrupt(const std::string& what) const {
+    throw std::runtime_error(context_ + ": " + what);
+  }
+
+  std::uint32_t U32() {
+    Need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(Byte()) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t U64() {
+    Need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(Byte()) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t Varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      Need(1);
+      const std::uint8_t b = Byte();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    Corrupt("varint overruns 64 bits");
+  }
+
+  std::string Bytes(std::size_t n) {
+    Need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  void Skip(std::size_t n) {
+    Need(n);
+    pos_ += n;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void Need(std::size_t n) {
+    if (data_.size() - pos_ < n) Corrupt("truncated");
+  }
+  std::uint8_t Byte() {
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+// Validates the envelope every artifact format shares — leading magic,
+// trailing FNV-1a checksum over everything before it — and returns the
+// payload between them (magic included; version checks stay with the
+// caller). Throws with the context prefix on any mismatch.
+inline std::string_view CheckedPayload(std::string_view data,
+                                       std::string_view magic,
+                                       const std::string& context) {
+  const auto corrupt = [&](const char* what) -> void {
+    throw std::runtime_error(context + ": " + what);
+  };
+  if (data.size() < magic.size() + 8) corrupt("truncated");
+  if (data.substr(0, magic.size()) != magic) corrupt("bad magic");
+  const std::string_view body = data.substr(0, data.size() - 8);
+  Reader tail(data, context);
+  tail.Skip(data.size() - 8);
+  if (tail.U64() != Fnv1a(body)) corrupt("checksum mismatch");
+  return body;
+}
+
+}  // namespace dcrm::bin

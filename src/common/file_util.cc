@@ -1,0 +1,90 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dcrm {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) Fail("cannot read", path);
+  std::string data((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  if (is.bad()) Fail("cannot read", path);
+  return data;
+}
+
+void WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) Fail("cannot create", tmp);
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      Fail("cannot write", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // Durability before visibility: the bytes must be on disk before the
+  // rename publishes the name, or a crash could expose an empty file
+  // under the final path.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    Fail("cannot sync", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    Fail("cannot rename into", path);
+  }
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+void EnsureDir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create directory " + path + ": " +
+                             ec.message());
+  }
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (e.is_regular_file()) names.push_back(e.path().filename().string());
+  }
+  return names;
+}
+
+}  // namespace dcrm

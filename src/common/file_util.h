@@ -1,0 +1,39 @@
+// Small filesystem helpers shared by the artifact writers (trace
+// stores, shard results, campaign manifests).
+//
+// The load-bearing one is WriteFileAtomic: every durable artifact in
+// the repo is written to a `<path>.tmp.<pid>` sibling, fsync'd, and
+// renamed into place, so a reader can never observe a half-written
+// file — a crashed writer leaves only a stale temp file (which the
+// shard coordinator sweeps up), never a truncated artifact under the
+// real name. Combined with the checksummed binary formats this gives
+// the crash-tolerance contract: an artifact either loads exactly as
+// written or is rejected whole.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcrm {
+
+// Reads the whole file. Throws std::runtime_error when unreadable.
+std::string ReadFileToString(const std::string& path);
+
+// Writes data to `<path>.tmp.<pid>`, fsyncs, then renames over `path`.
+// Throws std::runtime_error (and removes the temp file) on any failure.
+void WriteFileAtomic(const std::string& path, std::string_view data);
+
+bool FileExists(const std::string& path);
+
+// Best-effort removal; missing files are not an error.
+void RemoveFileIfExists(const std::string& path);
+
+// mkdir -p. Throws std::runtime_error on failure.
+void EnsureDir(const std::string& path);
+
+// Names (not paths) of regular files directly inside `dir`; empty when
+// the directory does not exist.
+std::vector<std::string> ListDir(const std::string& dir);
+
+}  // namespace dcrm

@@ -1,0 +1,115 @@
+#include "common/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace dcrm {
+
+namespace {
+
+// In the child between fork and exec: only async-signal-safe calls.
+void RedirectOrDie(const char* path, int target_fd) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0 || ::dup2(fd, target_fd) < 0) _exit(126);
+  ::close(fd);
+}
+
+ExitStatus Decode(int wstatus) {
+  ExitStatus st;
+  if (WIFSIGNALED(wstatus)) {
+    st.signaled = true;
+    st.code = WTERMSIG(wstatus);
+  } else {
+    st.code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 125;
+  }
+  return st;
+}
+
+}  // namespace
+
+std::string ExitStatus::Describe() const {
+  if (ok()) return "exit 0";
+  if (signaled) {
+    return std::string("killed by signal ") + std::to_string(code) + " (" +
+           strsignal(code) + ")";
+  }
+  return "exit code " + std::to_string(code);
+}
+
+Subprocess Subprocess::Spawn(const std::vector<std::string>& argv,
+                             const std::string& stdout_path,
+                             const std::string& stderr_path) {
+  if (argv.empty()) throw std::invalid_argument("Subprocess: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    if (!stdout_path.empty()) RedirectOrDie(stdout_path.c_str(), 1);
+    if (!stderr_path.empty()) RedirectOrDie(stderr_path.c_str(), 2);
+    ::execvp(cargv[0], cargv.data());
+    _exit(127);
+  }
+  Subprocess p;
+  p.pid_ = pid;
+  return p;
+}
+
+std::optional<ExitStatus> Subprocess::Poll() {
+  if (status_.has_value() || pid_ <= 0) return status_;
+  int wstatus = 0;
+  const pid_t r = ::waitpid(pid_, &wstatus, WNOHANG);
+  if (r == 0) return std::nullopt;
+  if (r < 0) {
+    // ECHILD etc: nothing left to reap; report it as an abnormal exit
+    // rather than spinning forever.
+    status_ = ExitStatus{false, 125};
+    return status_;
+  }
+  status_ = Decode(wstatus);
+  return status_;
+}
+
+ExitStatus Subprocess::Wait() {
+  if (status_.has_value()) return *status_;
+  int wstatus = 0;
+  while (::waitpid(pid_, &wstatus, 0) < 0) {
+    if (errno != EINTR) {
+      status_ = ExitStatus{false, 125};
+      return *status_;
+    }
+  }
+  status_ = Decode(wstatus);
+  return *status_;
+}
+
+void Subprocess::Kill(int sig) {
+  if (pid_ > 0 && !status_.has_value()) ::kill(pid_, sig);
+}
+
+std::uint64_t MonotonicMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SleepMs(unsigned ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace dcrm

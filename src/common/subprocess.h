@@ -1,0 +1,60 @@
+// Child-process spawn/poll/kill helper for the shard coordinator: a
+// thin fork/exec wrapper whose status handling distinguishes the
+// failure modes the coordinator's retry policy cares about — clean
+// exit, nonzero exit, and death by signal (a SIGKILLed or crashed
+// worker). Polling is non-blocking so one coordinator thread can
+// babysit a whole fleet of workers plus their timeouts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcrm {
+
+// Decomposed wait status of a finished child.
+struct ExitStatus {
+  bool signaled = false;
+  int code = 0;  // exit code when !signaled, else the signal number
+  bool ok() const { return !signaled && code == 0; }
+  std::string Describe() const;
+};
+
+class Subprocess {
+ public:
+  Subprocess() = default;
+
+  // Spawns argv (argv[0] is the executable, resolved via PATH) with
+  // stdout/stderr appended to the given files when non-empty. Throws
+  // std::runtime_error when the fork or redirect setup fails; an
+  // unexecutable binary surfaces as exit code 127.
+  static Subprocess Spawn(const std::vector<std::string>& argv,
+                          const std::string& stdout_path = {},
+                          const std::string& stderr_path = {});
+
+  // Non-blocking reap: the exit status once the child has finished,
+  // std::nullopt while it is still running. Idempotent after the
+  // child is reaped.
+  std::optional<ExitStatus> Poll();
+
+  // Blocking reap.
+  ExitStatus Wait();
+
+  // Sends `sig`; a no-op once the child has been reaped.
+  void Kill(int sig);
+
+  bool running() { return pid_ > 0 && !Poll().has_value(); }
+  int pid() const { return pid_; }
+
+ private:
+  int pid_ = -1;
+  std::optional<ExitStatus> status_;
+};
+
+// Monotonic wall clock in milliseconds (timeouts, retry backoff).
+std::uint64_t MonotonicMs();
+
+void SleepMs(unsigned ms);
+
+}  // namespace dcrm

@@ -51,6 +51,10 @@ class EscalationLedger {
   void Merge(std::span<const mem::ObjectId> events) {
     for (const mem::ObjectId id : events) ++counts_[id];
   }
+  // Merges another ledger's counts (shard results, epoch deltas).
+  void Merge(const EscalationLedger& o) {
+    for (const auto& [id, n] : o.counts_) counts_[id] += n;
+  }
   unsigned OffenseCount(mem::ObjectId id) const {
     const auto it = counts_.find(id);
     return it == counts_.end() ? 0u : it->second;
@@ -64,6 +68,21 @@ class EscalationLedger {
  private:
   std::unordered_map<mem::ObjectId, unsigned> counts_;
 };
+
+// Offense events recorded between two snapshots of one monotonically
+// growing ledger (`after` extends `before`). Shard workers report one
+// delta per escalation epoch; the coordinator rebuilds the campaign
+// ledger — and the escalation replay schedule — by merging them back
+// in epoch order.
+inline EscalationLedger LedgerDelta(const EscalationLedger& after,
+                                    const EscalationLedger& before) {
+  EscalationLedger d;
+  for (const auto& [id, n] : after.counts()) {
+    const unsigned prior = before.OffenseCount(id);
+    if (n > prior) d.Record(id, n - prior);
+  }
+  return d;
+}
 
 struct RecoveryConfig {
   bool enabled = false;

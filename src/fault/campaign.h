@@ -102,6 +102,22 @@ struct CampaignCounts {
     return BinomialCi(sdc, runs, confidence);
   }
 
+  // Element-wise sum: trial merging is pure addition, so a campaign's
+  // totals are the sum of any disjoint partition of its trials — the
+  // property shard merging rests on.
+  CampaignCounts& operator+=(const CampaignCounts& o) {
+    runs += o.runs;
+    masked += o.masked;
+    sdc += o.sdc;
+    detected += o.detected;
+    due += o.due;
+    crash += o.crash;
+    recovered += o.recovered;
+    corrections += o.corrections;
+    recovery += o.recovery;
+    return *this;
+  }
+
   bool operator==(const CampaignCounts&) const = default;
 };
 

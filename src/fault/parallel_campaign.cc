@@ -9,8 +9,20 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
                                  core::EscalationLedger& ledger,
                                  ThreadPool* pool,
                                  const CampaignConfig& cfg) {
+  return RunCampaignTrials(workers, ledger, pool, cfg, EngineOptions{});
+}
+
+CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
+                                 core::EscalationLedger& ledger,
+                                 ThreadPool* pool, const CampaignConfig& cfg,
+                                 const EngineOptions& opts) {
   if (workers.empty()) {
     throw std::invalid_argument("campaign engine needs at least one worker");
+  }
+  const unsigned range_begin = std::min(opts.begin, cfg.runs);
+  const unsigned range_end = std::min(opts.end, cfg.runs);
+  if (range_begin > range_end) {
+    throw std::invalid_argument("campaign engine trial range is inverted");
   }
   // Enable recovery on every worker up front (not lazily inside a
   // trial): all workers must allocate their spare pools at the same
@@ -23,16 +35,33 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
   }
 
   // Tier-2 escalation is the only cross-trial coupling; without it the
-  // whole campaign is one epoch.
+  // whole campaign is one epoch. Coupled campaigns must pin the wave
+  // to the escalation epoch (the prologue runs at wave boundaries);
+  // uncoupled ones may shorten it for stop-flag latency — a pure
+  // scheduling split that cannot change any per-trial result.
   const bool cross_trial = cfg.recovery.enabled && cfg.recovery.escalate;
-  const unsigned epoch = cross_trial && cfg.escalation_epoch > 0
-                             ? cfg.escalation_epoch
-                             : std::max(cfg.runs, 1u);
+  unsigned wave = cross_trial && cfg.escalation_epoch > 0
+                      ? cfg.escalation_epoch
+                      : std::max(cfg.runs, 1u);
+  if (!cross_trial && opts.max_wave > 0) wave = std::min(wave, opts.max_wave);
 
   CampaignCounts counts;
-  std::vector<TrialResult> results(cfg.runs);
-  for (unsigned begin = 0; begin < cfg.runs; begin += epoch) {
-    const unsigned end = std::min(cfg.runs, begin + epoch);
+  std::vector<TrialResult> results(range_end - range_begin);
+  unsigned begin = range_begin;
+  while (begin < range_end) {
+    // Graceful stop: finish only whole waves, so a drained run is
+    // resumable at the next globally-aligned boundary.
+    if (opts.stop != nullptr &&
+        opts.stop->load(std::memory_order_relaxed)) {
+      break;
+    }
+    // Wave boundaries are GLOBAL multiples of `wave` counted from
+    // trial 0, not from range_begin — so a range call entered
+    // mid-campaign sees exactly the epoch grid the whole-campaign run
+    // would.
+    const unsigned end = static_cast<unsigned>(std::min<std::uint64_t>(
+        range_end,
+        (static_cast<std::uint64_t>(begin) / wave + 1) * wave));
     // Epoch prologue: bring every worker's plan up to date with the
     // ledger — escalations earned in earlier epochs (or earlier Run
     // calls) apply here, identically on each worker, in plan order.
@@ -59,7 +88,8 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
       const unsigned lo = begin + w * chunk;
       const unsigned hi = std::min(end, lo + chunk);
       for (unsigned t = lo; t < hi; ++t) {
-        results[t] = workers[w]->RunTrial(cfg, t);
+        results[t - range_begin] = workers[w]->RunTrial(cfg, t);
+        if (opts.after_trial != nullptr) (*opts.after_trial)(t);
       }
     };
     if (pool != nullptr && lanes > 1) {
@@ -72,9 +102,10 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
     // order-independent, but merging in index order keeps the ledger's
     // evolution identical to the serial engine's by inspection.
     for (unsigned t = begin; t < end; ++t) {
-      MergeTrialResult(counts, results[t]);
-      ledger.Merge(results[t].offenses);
+      MergeTrialResult(counts, results[t - range_begin]);
+      ledger.Merge(results[t - range_begin].offenses);
     }
+    begin = end;
   }
   return counts;
 }
@@ -121,6 +152,32 @@ ParallelCampaign::~ParallelCampaign() = default;
 
 CampaignCounts ParallelCampaign::Run(const CampaignConfig& cfg) {
   return RunCampaignTrials(workers_, ledger_, pool_.get(), cfg);
+}
+
+CampaignCounts ParallelCampaign::Run(const CampaignConfig& cfg,
+                                     const EngineOptions& opts) {
+  return RunCampaignTrials(workers_, ledger_, pool_.get(), cfg, opts);
+}
+
+void ParallelCampaign::ReplayEscalations(
+    std::span<const core::EscalationLedger> deltas,
+    const core::RecoveryConfig& rc) {
+  if (rc.enabled) {
+    for (FaultCampaign* w : workers_) {
+      if (w->recovery() == nullptr) w->EnableRecovery(rc);
+    }
+  }
+  const bool cross_trial = rc.enabled && rc.escalate;
+  for (const core::EscalationLedger& delta : deltas) {
+    // Mirror one in-process epoch boundary: the prologue applies
+    // escalations earned *before* this epoch, then the epoch's offense
+    // events merge in. Replayed applications are deliberately not
+    // counted — the shards that originally earned them already did.
+    if (cross_trial) {
+      for (FaultCampaign* w : workers_) w->ApplyEscalations(ledger_);
+    }
+    ledger_.Merge(delta);
+  }
 }
 
 }  // namespace dcrm::fault

@@ -22,6 +22,7 @@
 // FaultCampaign::Run is literally this engine at jobs=1.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <span>
@@ -32,6 +33,35 @@
 
 namespace dcrm::fault {
 
+// Optional controls over one engine call. Defaults reproduce the
+// classic whole-campaign run.
+struct EngineOptions {
+  // Global trial range [begin, end) to execute; kToEnd clamps to
+  // cfg.runs. Trial indices, RNG streams and escalation-epoch
+  // boundaries stay GLOBAL (multiples of cfg.escalation_epoch from
+  // trial 0), so running a campaign as several range calls — on one
+  // process or many — merges bit-identically to one whole-range call.
+  static constexpr unsigned kToEnd = ~0u;
+  unsigned begin = 0;
+  unsigned end = kToEnd;
+
+  // Checked at every wave boundary: when set, the engine stops
+  // dispatching further trials and returns the counts merged so far
+  // (always a whole number of waves — resumable at the next epoch
+  // boundary). This is how SIGINT/SIGTERM drain without losing work.
+  const std::atomic<bool>* stop = nullptr;
+
+  // Caps the fan-out wave size when the campaign has no cross-trial
+  // escalation coupling (otherwise the wave is pinned to the
+  // escalation epoch). Purely a latency knob for the stop flag — wave
+  // splits never change results. 0 = unbounded.
+  unsigned max_wave = 0;
+
+  // Invoked after every completed trial, possibly concurrently from
+  // pool threads (the worker self-fault-injection hook).
+  const std::function<void(unsigned trial)>* after_trial = nullptr;
+};
+
 // Shared trial/merge engine. Runs cfg.runs trials chunked across
 // `workers` (all constructed identically), merging results in
 // trial-index order into the returned counts and offense events into
@@ -40,6 +70,10 @@ namespace dcrm::fault {
 CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
                                  core::EscalationLedger& ledger,
                                  ThreadPool* pool, const CampaignConfig& cfg);
+CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
+                                 core::EscalationLedger& ledger,
+                                 ThreadPool* pool, const CampaignConfig& cfg,
+                                 const EngineOptions& opts);
 
 // Everything one worker needs to build its private campaign instance.
 // `make_app` must return a fresh App each call (apps deterministically
@@ -74,9 +108,22 @@ class ParallelCampaign {
   ParallelCampaign& operator=(ParallelCampaign&&) = default;
 
   CampaignCounts Run(const CampaignConfig& cfg);
+  CampaignCounts Run(const CampaignConfig& cfg, const EngineOptions& opts);
+
+  // Shard-worker catch-up: re-applies the escalation history of epochs
+  // this process never ran. Each delta is one earlier epoch's offense
+  // events (in epoch order); for each, every worker's plan applies the
+  // pending escalations *before* the delta merges — exactly the
+  // prologue/epilogue sequence the in-process engine performed — so
+  // replica allocation order, and hence all downstream trial results,
+  // are bit-identical to a single-process run. Replayed escalations
+  // are not counted (the shards that earned them already counted them).
+  void ReplayEscalations(std::span<const core::EscalationLedger> deltas,
+                         const core::RecoveryConfig& rc);
 
   unsigned jobs() const { return static_cast<unsigned>(workers_.size()); }
   const core::EscalationLedger& ledger() const { return ledger_; }
+  core::EscalationLedger& mutable_ledger() { return ledger_; }
   // The first worker (the one the launch gate certified).
   const FaultCampaign& front() const { return *workers_.front(); }
 

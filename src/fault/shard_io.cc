@@ -1,0 +1,229 @@
+#include "fault/shard_io.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "common/binio.h"
+
+namespace dcrm::fault {
+
+namespace {
+
+constexpr char kResultMagic[8] = {'d', 'c', 'r', 'm', 's', 'h', 'r', '\n'};
+constexpr char kManifestMagic[8] = {'d', 'c', 'r', 'm', 'm', 'f', 't', '\n'};
+constexpr char kHandoffMagic[8] = {'d', 'c', 'r', 'm', 'l', 'd', 'g', '\n'};
+constexpr std::uint32_t kVersion = 1;
+
+// A ledger is a hash map; the wire form sorts entries by object id so
+// encoding is canonical — equal ledgers encode to equal bytes, which
+// the checksums and the CI `diff` both rely on.
+std::vector<std::pair<mem::ObjectId, unsigned>> SortedEntries(
+    const core::EscalationLedger& ledger) {
+  std::vector<std::pair<mem::ObjectId, unsigned>> entries(
+      ledger.counts().begin(), ledger.counts().end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+void PutLedger(std::string& out, const core::EscalationLedger& ledger) {
+  const auto entries = SortedEntries(ledger);
+  bin::PutVarint(out, entries.size());
+  for (const auto& [id, n] : entries) {
+    bin::PutVarint(out, id);
+    bin::PutVarint(out, n);
+  }
+}
+
+core::EscalationLedger GetLedger(bin::Reader& r) {
+  core::EscalationLedger ledger;
+  const std::uint64_t n = r.Varint();
+  if (n > r.remaining()) r.Corrupt("implausible ledger entry count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<mem::ObjectId>(r.Varint());
+    const auto count = static_cast<unsigned>(r.Varint());
+    if (count == 0) r.Corrupt("zero-count ledger entry");
+    ledger.Record(id, count);
+  }
+  return ledger;
+}
+
+// Counts serialize as a fixed field sequence; adding a field is a
+// version bump, never a silent reinterpretation.
+void PutCounts(std::string& out, const CampaignCounts& c) {
+  bin::PutVarint(out, c.runs);
+  bin::PutVarint(out, c.masked);
+  bin::PutVarint(out, c.sdc);
+  bin::PutVarint(out, c.detected);
+  bin::PutVarint(out, c.due);
+  bin::PutVarint(out, c.crash);
+  bin::PutVarint(out, c.recovered);
+  bin::PutVarint(out, c.corrections);
+  bin::PutVarint(out, c.recovery.scrubs);
+  bin::PutVarint(out, c.recovery.scrub_sticks);
+  bin::PutVarint(out, c.recovery.arbitrations);
+  bin::PutVarint(out, c.recovery.retired_blocks);
+  bin::PutVarint(out, c.recovery.retries);
+  bin::PutVarint(out, c.recovery.backoff_units);
+  bin::PutVarint(out, c.recovery.escalations);
+  bin::PutVarint(out, c.recovery.exhausted_runs);
+}
+
+CampaignCounts GetCounts(bin::Reader& r) {
+  CampaignCounts c;
+  c.runs = static_cast<unsigned>(r.Varint());
+  c.masked = static_cast<unsigned>(r.Varint());
+  c.sdc = static_cast<unsigned>(r.Varint());
+  c.detected = static_cast<unsigned>(r.Varint());
+  c.due = static_cast<unsigned>(r.Varint());
+  c.crash = static_cast<unsigned>(r.Varint());
+  c.recovered = static_cast<unsigned>(r.Varint());
+  c.corrections = r.Varint();
+  c.recovery.scrubs = r.Varint();
+  c.recovery.scrub_sticks = r.Varint();
+  c.recovery.arbitrations = r.Varint();
+  c.recovery.retired_blocks = r.Varint();
+  c.recovery.retries = r.Varint();
+  c.recovery.backoff_units = r.Varint();
+  c.recovery.escalations = r.Varint();
+  c.recovery.exhausted_runs = r.Varint();
+  return c;
+}
+
+std::string_view Open(const std::string& data, const char (&magic)[8],
+                      const char* context, bin::Reader& r) {
+  const std::string_view body = bin::CheckedPayload(
+      data, std::string_view(magic, sizeof(magic)), context);
+  r = bin::Reader(body, context);
+  r.Skip(sizeof(magic));
+  if (r.U32() != kVersion) r.Corrupt("unsupported version");
+  return body;
+}
+
+void Finish(const bin::Reader& r) {
+  if (r.remaining() != 0) r.Corrupt("trailing bytes");
+}
+
+}  // namespace
+
+std::string EncodeShardResult(const ShardResult& r) {
+  std::string out;
+  out.append(kResultMagic, sizeof(kResultMagic));
+  bin::PutU32(out, kVersion);
+  bin::PutU64(out, r.fingerprint);
+  bin::PutVarint(out, r.shard_index);
+  bin::PutVarint(out, r.trial_begin);
+  bin::PutVarint(out, r.trial_end);
+  bin::PutVarint(out, r.first_epoch);
+  PutCounts(out, r.counts);
+  bin::PutVarint(out, r.offense_deltas.size());
+  for (const core::EscalationLedger& d : r.offense_deltas) PutLedger(out, d);
+  bin::AppendChecksum(out);
+  return out;
+}
+
+ShardResult DecodeShardResult(const std::string& data) {
+  bin::Reader r(std::string_view(), "shard result");
+  Open(data, kResultMagic, "shard result", r);
+  ShardResult out;
+  out.fingerprint = r.U64();
+  out.shard_index = static_cast<std::uint32_t>(r.Varint());
+  out.trial_begin = static_cast<std::uint32_t>(r.Varint());
+  out.trial_end = static_cast<std::uint32_t>(r.Varint());
+  out.first_epoch = static_cast<std::uint32_t>(r.Varint());
+  out.counts = GetCounts(r);
+  const std::uint64_t n = r.Varint();
+  if (n > r.remaining()) r.Corrupt("implausible delta count");
+  out.offense_deltas.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.offense_deltas.push_back(GetLedger(r));
+  }
+  Finish(r);
+  if (out.trial_begin > out.trial_end) r.Corrupt("inverted trial range");
+  return out;
+}
+
+std::string EncodeShardManifest(const ShardManifest& m) {
+  std::string out;
+  out.append(kManifestMagic, sizeof(kManifestMagic));
+  bin::PutU32(out, kVersion);
+  bin::PutU64(out, m.fingerprint);
+  bin::PutVarint(out, m.total_runs);
+  bin::PutVarint(out, m.shard_size);
+  bin::PutVarint(out, m.num_shards);
+  bin::PutVarint(out, m.done.size());
+  for (const std::uint32_t s : m.done) bin::PutVarint(out, s);
+  bin::AppendChecksum(out);
+  return out;
+}
+
+ShardManifest DecodeShardManifest(const std::string& data) {
+  bin::Reader r(std::string_view(), "shard manifest");
+  Open(data, kManifestMagic, "shard manifest", r);
+  ShardManifest out;
+  out.fingerprint = r.U64();
+  out.total_runs = static_cast<std::uint32_t>(r.Varint());
+  out.shard_size = static_cast<std::uint32_t>(r.Varint());
+  out.num_shards = static_cast<std::uint32_t>(r.Varint());
+  const std::uint64_t n = r.Varint();
+  if (n > r.remaining()) r.Corrupt("implausible done count");
+  out.done.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.done.push_back(static_cast<std::uint32_t>(r.Varint()));
+  }
+  Finish(r);
+  for (const std::uint32_t s : out.done) {
+    if (s >= out.num_shards) r.Corrupt("done shard out of range");
+  }
+  if (!std::is_sorted(out.done.begin(), out.done.end()) ||
+      std::adjacent_find(out.done.begin(), out.done.end()) !=
+          out.done.end()) {
+    r.Corrupt("done shards not strictly ascending");
+  }
+  return out;
+}
+
+std::string EncodeLedgerHandoff(const LedgerHandoff& h) {
+  std::string out;
+  out.append(kHandoffMagic, sizeof(kHandoffMagic));
+  bin::PutU32(out, kVersion);
+  bin::PutU64(out, h.fingerprint);
+  bin::PutVarint(out, h.epoch_deltas.size());
+  for (const core::EscalationLedger& d : h.epoch_deltas) PutLedger(out, d);
+  bin::AppendChecksum(out);
+  return out;
+}
+
+LedgerHandoff DecodeLedgerHandoff(const std::string& data) {
+  bin::Reader r(std::string_view(), "ledger handoff");
+  Open(data, kHandoffMagic, "ledger handoff", r);
+  LedgerHandoff out;
+  out.fingerprint = r.U64();
+  const std::uint64_t n = r.Varint();
+  if (n > r.remaining()) r.Corrupt("implausible delta count");
+  out.epoch_deltas.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.epoch_deltas.push_back(GetLedger(r));
+  }
+  Finish(r);
+  return out;
+}
+
+void WriteCountsCsv(const CampaignCounts& c,
+                    const core::EscalationLedger& ledger, std::ostream& os) {
+  os << "row,runs,masked,sdc,detected,due,crash,recovered,corrections,"
+        "scrubs,scrub_sticks,arbitrations,retired_blocks,retries,"
+        "backoff_units,escalations,exhausted_runs\n";
+  os << "counts," << c.runs << ',' << c.masked << ',' << c.sdc << ','
+     << c.detected << ',' << c.due << ',' << c.crash << ',' << c.recovered
+     << ',' << c.corrections << ',' << c.recovery.scrubs << ','
+     << c.recovery.scrub_sticks << ',' << c.recovery.arbitrations << ','
+     << c.recovery.retired_blocks << ',' << c.recovery.retries << ','
+     << c.recovery.backoff_units << ',' << c.recovery.escalations << ','
+     << c.recovery.exhausted_runs << '\n';
+  for (const auto& [id, n] : SortedEntries(ledger)) {
+    os << "offense," << id << ',' << n << '\n';
+  }
+}
+
+}  // namespace dcrm::fault

@@ -1,0 +1,93 @@
+// Wire formats of the crash-tolerant sharded campaign (see DESIGN.md
+// §11): the three checksummed artifacts the coordinator and its worker
+// processes exchange through the filesystem, plus the CSV surface the
+// CI golden-diff compares.
+//
+//  * ShardResult   — one worker's completed trial range: its partial
+//    CampaignCounts and one offense-event ledger delta per escalation
+//    epoch it ran. Per-epoch deltas (not one merged ledger) are what
+//    make resumed and re-sharded runs bit-identical: escalation
+//    replica addresses depend on *which epoch* each escalation first
+//    applied, so a catching-up worker must replay the prologue history
+//    epoch by epoch, not just the final offense totals.
+//  * ShardManifest — the coordinator's checkpoint: campaign
+//    fingerprint, shard geometry and the set of shards whose results
+//    have been validated and merged. Written atomically after every
+//    merge; --resume trusts it to re-run only what is missing.
+//  * LedgerHandoff — the escalation history a coupled-mode shard needs
+//    before its first trial: every earlier epoch's offense delta, in
+//    epoch order.
+//
+// All three share the repo's artifact envelope (common/binio.h): magic,
+// u32 version, payload, trailing FNV-1a checksum — a file loads whole
+// or is rejected whole, so a crash mid-write can never smuggle half a
+// result into the merge.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/recovery.h"
+#include "fault/campaign.h"
+
+namespace dcrm::fault {
+
+// One worker process's completed shard.
+struct ShardResult {
+  std::uint64_t fingerprint = 0;  // must match the coordinator's plan
+  std::uint32_t shard_index = 0;
+  std::uint32_t trial_begin = 0;
+  std::uint32_t trial_end = 0;
+  // Global index of the first escalation epoch this shard ran; the
+  // offense deltas cover epochs [first_epoch, first_epoch + size()).
+  // Zero (with empty deltas) when the campaign has no cross-trial
+  // coupling.
+  std::uint32_t first_epoch = 0;
+  CampaignCounts counts;
+  std::vector<core::EscalationLedger> offense_deltas;
+
+  bool operator==(const ShardResult&) const = default;
+};
+
+// The coordinator's crash-recovery checkpoint.
+struct ShardManifest {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t total_runs = 0;
+  std::uint32_t shard_size = 0;  // trials per shard (last may be short)
+  std::uint32_t num_shards = 0;
+  std::vector<std::uint32_t> done;  // merged shard indices, ascending
+
+  bool operator==(const ShardManifest&) const = default;
+};
+
+// Escalation history handed to a coupled-mode shard before dispatch:
+// epoch_deltas[e] is global epoch e's offense events, for every epoch
+// before the shard's first trial.
+struct LedgerHandoff {
+  std::uint64_t fingerprint = 0;
+  std::vector<core::EscalationLedger> epoch_deltas;
+
+  bool operator==(const LedgerHandoff&) const = default;
+};
+
+std::string EncodeShardResult(const ShardResult& r);
+std::string EncodeShardManifest(const ShardManifest& m);
+std::string EncodeLedgerHandoff(const LedgerHandoff& h);
+
+// Decoders throw std::runtime_error on bad magic, unknown version,
+// truncation, checksum mismatch or malformed payload.
+ShardResult DecodeShardResult(const std::string& data);
+ShardManifest DecodeShardManifest(const std::string& data);
+LedgerHandoff DecodeLedgerHandoff(const std::string& h);
+
+// The campaign-result CSV shared by `dcrm campaign --csv`, `dcrm shard
+// --csv` and the CI golden diff: one `counts` row with every outcome
+// and recovery counter, then one `offense` row per ledger entry in
+// object-id order. Byte-identical counts+ledger produce byte-identical
+// CSV, so `diff` is the bit-identity check.
+void WriteCountsCsv(const CampaignCounts& counts,
+                    const core::EscalationLedger& ledger, std::ostream& os);
+
+}  // namespace dcrm::fault

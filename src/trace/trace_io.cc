@@ -6,117 +6,20 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/binio.h"
+#include "common/file_util.h"
+
 namespace dcrm::trace {
 
 namespace {
 
 constexpr char kMagic[8] = {'d', 'c', 'r', 'm', 't', 'r', 'c', '\n'};
 constexpr std::uint32_t kVersion = 1;
+constexpr const char* kContext = "trace file";
 
 [[noreturn]] void Corrupt(const std::string& what) {
-  throw std::runtime_error("trace file: " + what);
+  throw std::runtime_error(std::string(kContext) + ": " + what);
 }
-
-void PutU32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutVarint(std::string& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  out.push_back(static_cast<char>(v));
-}
-
-std::uint64_t ZigZag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t UnZigZag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^
-         -static_cast<std::int64_t>(v & 1);
-}
-
-std::uint64_t Fnv1a(const std::string& data) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-// Bounds-checked reader over the loaded payload; every read past the
-// end is a corruption, not undefined behaviour.
-class Reader {
- public:
-  explicit Reader(const std::string& data) : data_(data) {}
-
-  std::uint32_t U32() {
-    Need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(Byte()) << (8 * i);
-    }
-    return v;
-  }
-
-  std::uint64_t U64() {
-    Need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(Byte()) << (8 * i);
-    }
-    return v;
-  }
-
-  std::uint64_t Varint() {
-    std::uint64_t v = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-      Need(1);
-      const std::uint8_t b = Byte();
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
-    }
-    Corrupt("varint overruns 64 bits");
-  }
-
-  std::string Bytes(std::size_t n) {
-    Need(n);
-    std::string s = data_.substr(pos_, n);
-    pos_ += n;
-    return s;
-  }
-
-  void Skip(std::size_t n) {
-    Need(n);
-    pos_ += n;
-  }
-
-  std::size_t pos() const { return pos_; }
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  void Need(std::size_t n) {
-    if (data_.size() - pos_ < n) Corrupt("truncated");
-  }
-  std::uint8_t Byte() {
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-
-  const std::string& data_;
-  std::size_t pos_ = 0;
-};
 
 // Counts must agree with what their varints later imply, and feeding
 // them to vector::reserve unchecked would let a short corrupt file
@@ -131,11 +34,12 @@ std::size_t CheckedCount(std::uint64_t n, std::size_t payload,
 }  // namespace
 
 std::string SaveTraceToString(const TraceStore& store) {
+  using bin::PutVarint;
   const TraceStore::Columns& c = store.columns();
   std::string out;
   out.reserve(64 + c.inst_pc.size() * 3 + c.NumBlocks() * 2);
   out.append(kMagic, sizeof(kMagic));
-  PutU32(out, kVersion);
+  bin::PutU32(out, kVersion);
   PutVarint(out, c.kernels.size());
   PutVarint(out, c.warp_id.size());
   PutVarint(out, c.inst_pc.size());
@@ -168,11 +72,11 @@ std::string SaveTraceToString(const TraceStore& store) {
   Addr prev = 0;
   for (std::size_t b = 0; b < c.NumBlocks(); ++b) {
     const Addr addr = c.BlockAt(b);
-    PutVarint(out, ZigZag(static_cast<std::int64_t>(addr) -
-                          static_cast<std::int64_t>(prev)));
+    PutVarint(out, bin::ZigZag(static_cast<std::int64_t>(addr) -
+                               static_cast<std::int64_t>(prev)));
     prev = addr;
   }
-  PutU64(out, Fnv1a(out));
+  bin::AppendChecksum(out);
   return out;
 }
 
@@ -181,18 +85,16 @@ void SaveTrace(const TraceStore& store, std::ostream& os) {
   os.write(data.data(), static_cast<std::streamsize>(data.size()));
 }
 
+void SaveTraceFile(const TraceStore& store, const std::string& path) {
+  WriteFileAtomic(path, SaveTraceToString(store));
+}
+
 std::shared_ptr<const TraceStore> LoadTraceFromString(
     const std::string& data) {
-  if (data.size() < sizeof(kMagic) + 4 + 8) Corrupt("truncated");
-  if (data.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
-    Corrupt("bad magic");
-  }
-  const std::string body = data.substr(0, data.size() - 8);
-  Reader tail(data);
-  tail.Skip(data.size() - 8);
-  if (tail.U64() != Fnv1a(body)) Corrupt("checksum mismatch");
+  const std::string_view body = bin::CheckedPayload(
+      data, std::string_view(kMagic, sizeof(kMagic)), kContext);
 
-  Reader r(body);
+  bin::Reader r(body, kContext);
   r.Skip(sizeof(kMagic));
   const std::uint32_t version = r.U32();
   if (version != kVersion) Corrupt("unsupported version");
@@ -263,7 +165,7 @@ std::shared_ptr<const TraceStore> LoadTraceFromString(
 
   std::int64_t prev = 0;
   for (std::size_t b = 0; b < num_blocks; ++b) {
-    prev += UnZigZag(r.Varint());
+    prev += bin::UnZigZag(r.Varint());
     if (prev < 0) Corrupt("negative block address");
     pool.push_back(static_cast<Addr>(prev));
   }
@@ -281,6 +183,10 @@ std::shared_ptr<const TraceStore> LoadTrace(std::istream& is) {
   const std::string data((std::istreambuf_iterator<char>(is)),
                          std::istreambuf_iterator<char>());
   return LoadTraceFromString(data);
+}
+
+std::shared_ptr<const TraceStore> LoadTraceFile(const std::string& path) {
+  return LoadTraceFromString(ReadFileToString(path));
 }
 
 }  // namespace dcrm::trace

@@ -32,8 +32,14 @@ namespace dcrm::trace {
 void SaveTrace(const TraceStore& store, std::ostream& os);
 std::string SaveTraceToString(const TraceStore& store);
 
+// Atomic publication (temp file + rename, common/file_util.h): readers
+// never observe a partially written trace. Throws std::runtime_error
+// on I/O failure.
+void SaveTraceFile(const TraceStore& store, const std::string& path);
+
 // Throws std::runtime_error on malformed input.
 std::shared_ptr<const TraceStore> LoadTrace(std::istream& is);
 std::shared_ptr<const TraceStore> LoadTraceFromString(const std::string& data);
+std::shared_ptr<const TraceStore> LoadTraceFile(const std::string& path);
 
 }  // namespace dcrm::trace

@@ -9,6 +9,7 @@
 
 #include "apps/app.h"
 #include "apps/registry.h"
+#include "common/file_util.h"
 #include "exec/launcher.h"
 #include "trace/trace_builder.h"
 #include "trace/trace_io.h"
@@ -237,6 +238,53 @@ TEST(TraceStoreIo, RejectsMalformedFiles) {
 
   // Trailing garbage after the checksum.
   EXPECT_THROW(trace::LoadTraceFromString(good + "x"), std::runtime_error);
+}
+
+// Regression for the crash-tolerance contract: a trace file cut short
+// at ANY point — here every 1KiB boundary, the granularity a torn
+// write or partial copy actually produces — must be rejected whole,
+// never partially loaded. (Historically only a handful of hand-picked
+// prefixes were checked.)
+TEST(TraceStoreIo, RejectsTruncationAtEveryKibibyteBoundary) {
+  auto app = apps::MakeApp("P-MVT", apps::AppScale::kTiny);
+  const auto store = trace::BuildStore(CollectLegacy(*app));
+  const std::string good = trace::SaveTraceToString(*store);
+  ASSERT_GT(good.size(), 4096u)
+      << "trace too small to exercise multiple 1KiB cuts";
+  for (std::size_t n = 0; n < good.size(); n += 1024) {
+    EXPECT_THROW(trace::LoadTraceFromString(good.substr(0, n)),
+                 std::runtime_error)
+        << "truncated to " << n << " of " << good.size() << " bytes";
+  }
+  // And the last byte, the checksum's final line of defence.
+  EXPECT_THROW(trace::LoadTraceFromString(good.substr(0, good.size() - 1)),
+               std::runtime_error);
+}
+
+// SaveTraceFile publishes atomically (temp + rename): the round trip
+// is exact, no temp sibling survives, and a file that *was* torn on
+// disk is rejected by the loader.
+TEST(TraceStoreIo, FileSaveIsAtomicAndTornFilesAreRejected) {
+  auto app = apps::MakeApp("P-BICG", apps::AppScale::kTiny);
+  const auto store = trace::BuildStore(CollectLegacy(*app));
+  const std::string dir = ::testing::TempDir() + "dcrm_trace_atomic";
+  EnsureDir(dir);
+  const std::string path = dir + "/trace.bin";
+
+  trace::SaveTraceFile(*store, path);
+  EXPECT_TRUE(*trace::LoadTraceFile(path) == *store);
+  for (const std::string& name : ListDir(dir)) {
+    EXPECT_EQ(name.find(".tmp."), std::string::npos)
+        << "orphaned temp file: " << name;
+  }
+
+  const std::string good = ReadFileToString(path);
+  WriteFileAtomic(path, good.substr(0, good.size() / 2));
+  EXPECT_THROW(trace::LoadTraceFile(path), std::runtime_error);
+
+  // Overwriting heals it — rename replaces the torn file in one step.
+  trace::SaveTraceFile(*store, path);
+  EXPECT_TRUE(*trace::LoadTraceFile(path) == *store);
 }
 
 TEST(TraceStoreFootprint, ColumnarHalvesTheLegacyBytes) {

@@ -27,14 +27,33 @@
 //                 the recorded access streams (races, read-only proof,
 //                 replica aliasing, LD/ST-table capacity) — no timing
 //                 simulation, no fault injection
+//   dcrm shard <app> [campaign flags] [--shards=N] [--workers=M]
+//                 [--workdir=DIR] [--resume] [--shard-timeout=SECONDS]
+//                 [--max-retries=N] [--backoff-ms=N] [--csv=FILE]
+//                 crash-tolerant multi-process campaign: epoch-aligned
+//                 shards run in worker processes, results merge
+//                 bit-identical to in-process --jobs=N, a checksummed
+//                 manifest checkpoint makes --resume re-run only what
+//                 is missing, dead/hung workers are re-dispatched with
+//                 exponential backoff
+//   dcrm shard-worker <app> ...   internal: runs one shard (spawned by
+//                 dcrm shard; not for interactive use)
 //   Common flags: --scale=tiny|small|medium  --config=FILE  --seed=N
-//                 --load-trace=FILE (profile/timing/campaign/analyze: reuse
-//                 a saved trace store instead of rebuilding traces)
+//                 --load-trace=FILE (profile/timing/campaign/analyze/shard:
+//                 reuse a saved trace store instead of rebuilding traces)
+//                 --recovery=N --epoch=N (campaign, shard: tiered
+//                 recovery with an N-retry budget / escalation epoch)
 //
-// Exit codes: 0 success, 2 usage, 3 a run was terminated by the
-// detection scheme, 4 a run hit a SECDED uncorrectable error, 5 the
-// analyzer certified with warnings, 6 the analyzer found violations,
-// 1 any other error.
+// Exit codes (the authoritative table lives in README.md): 0 success,
+// 2 usage, 3 a run was terminated by the detection scheme, 4 a run hit
+// a SECDED uncorrectable error, 5 the analyzer certified with
+// warnings, 6 the analyzer found violations, 7 interrupted at a
+// checkpointable boundary (resumable), 8 a shard's retry budget was
+// exhausted (resumable), 1 any other error.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,6 +69,8 @@
 #include "core/recovery.h"
 #include "fault/campaign.h"
 #include "fault/parallel_campaign.h"
+#include "fault/shard_coordinator.h"
+#include "fault/shard_io.h"
 #include "sim/config_io.h"
 #include "trace/trace_io.h"
 #include "trace/trace_store.h"
@@ -57,6 +78,30 @@
 namespace {
 
 using namespace dcrm;
+
+// Set by SIGINT/SIGTERM; long-running commands poll it and drain at
+// the next epoch/shard boundary instead of dying mid-trial.
+std::atomic<bool> g_stop{false};
+
+void OnStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void InstallStopHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = OnStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+// The dcrm binary's own path, for the coordinator to spawn workers
+// with: /proc/self/exe when available (robust against PATH and cwd
+// changes), argv[0] otherwise.
+std::string SelfExe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0;
+}
 
 struct CliArgs {
   std::string command;
@@ -76,13 +121,41 @@ struct CliArgs {
   unsigned retries = 3;
   unsigned jobs = 1;  // campaign worker count (0 = hardware threads)
   std::vector<std::string> objects;  // explicit cover (analyze, campaign)
-  std::string csv_path;              // analyze: machine-readable report
+  std::string csv_path;              // analyze/campaign/shard: CSV output
   bool allow_unsound = false;        // campaign: skip the launch gate
+  // Campaign/shard recovery pipeline: budget 0 = the paper's
+  // detect-and-die, >0 enables tiered recovery (and with it Tier-2
+  // escalation, the cross-trial coupling).
+  unsigned recovery_retries = 0;
+  unsigned epoch = 16;  // escalation epoch (trials)
+  // Sharded campaign (dcrm shard).
+  unsigned shards = 4;
+  unsigned workers = 2;
+  std::string workdir = "dcrm_shard_work";
+  bool resume = false;
+  std::uint64_t shard_timeout_ms = 0;
+  unsigned max_retries = 3;
+  std::uint64_t backoff_ms = 500;
+  int kill_shard = -1;  // fault injection (tests, CI)
+  unsigned kill_shard_after = 0;
+  int hang_shard = -1;
+  unsigned hang_shard_after = 0;
+  int stop_after_shards = -1;
+  // Shard worker (dcrm shard-worker, spawned by the coordinator).
+  unsigned shard_index = 0;
+  unsigned trial_begin = 0;
+  unsigned trial_end = 0;
+  std::uint64_t fingerprint = 0;
+  std::string out_path;
+  std::string ledger_in;
+  unsigned kill_after = 0;
+  unsigned hang_after = 0;
 };
 
 int Usage() {
   std::cerr
-      << "usage: dcrm <apps|config|profile|timing|campaign|recover|analyze> "
+      << "usage: dcrm "
+         "<apps|config|profile|timing|campaign|recover|analyze|shard> "
          "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
          "       --save=FILE --save-trace=FILE (profile)\n"
@@ -96,9 +169,15 @@ int Usage() {
          "       --retries=N (recover: sweep budgets 0..N)\n"
          "       --objects=a,b,c (analyze, campaign: explicit cover, may "
          "include writable objects)\n"
-         "       --csv=FILE (analyze: machine-readable report)\n"
+         "       --csv=FILE (analyze: report; campaign, shard: merged "
+         "counts+ledger)\n"
          "       --allow-unsound (campaign: run despite analyzer "
-         "violations)\n";
+         "violations)\n"
+         "       --recovery=N --epoch=N (campaign, shard: tiered recovery "
+         "budget / escalation epoch)\n"
+         "       --shards=N --workers=M --workdir=DIR --resume\n"
+         "       --shard-timeout=SECONDS --max-retries=N --backoff-ms=N "
+         "(shard)\n";
   return 2;
 }
 
@@ -189,6 +268,94 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (a == "--allow-unsound") {
     args.allow_unsound = true;
+    return true;
+  }
+  if (auto v = value("--recovery=")) {
+    args.recovery_retries = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--epoch=")) {
+    args.epoch = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--shards=")) {
+    args.shards = static_cast<unsigned>(std::stoul(*v));
+    return args.shards > 0;
+  }
+  if (auto v = value("--workers=")) {
+    args.workers = static_cast<unsigned>(std::stoul(*v));
+    return args.workers > 0;
+  }
+  if (auto v = value("--workdir=")) {
+    args.workdir = *v;
+    return !args.workdir.empty();
+  }
+  if (a == "--resume") {
+    args.resume = true;
+    return true;
+  }
+  if (auto v = value("--shard-timeout=")) {
+    args.shard_timeout_ms = std::stoull(*v) * 1000;
+    return true;
+  }
+  if (auto v = value("--max-retries=")) {
+    args.max_retries = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--backoff-ms=")) {
+    args.backoff_ms = std::stoull(*v);
+    return true;
+  }
+  if (auto v = value("--kill-shard=")) {
+    args.kill_shard = std::stoi(*v);
+    return true;
+  }
+  if (auto v = value("--kill-shard-after=")) {
+    args.kill_shard_after = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--hang-shard=")) {
+    args.hang_shard = std::stoi(*v);
+    return true;
+  }
+  if (auto v = value("--hang-shard-after=")) {
+    args.hang_shard_after = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--stop-after-shards=")) {
+    args.stop_after_shards = std::stoi(*v);
+    return true;
+  }
+  if (auto v = value("--shard-index=")) {
+    args.shard_index = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--trial-begin=")) {
+    args.trial_begin = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--trial-end=")) {
+    args.trial_end = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--fingerprint=")) {
+    args.fingerprint = std::stoull(*v);
+    return true;
+  }
+  if (auto v = value("--out=")) {
+    args.out_path = *v;
+    return !args.out_path.empty();
+  }
+  if (auto v = value("--ledger-in=")) {
+    args.ledger_in = *v;
+    return true;
+  }
+  if (auto v = value("--kill-after=")) {
+    args.kill_after = static_cast<unsigned>(std::stoul(*v));
+    return true;
+  }
+  if (auto v = value("--hang-after=")) {
+    args.hang_after = static_cast<unsigned>(std::stoul(*v));
     return true;
   }
   return false;
@@ -356,7 +523,17 @@ int CmdCampaign(CliArgs& args) {
   cc.bits_per_block = args.bits;
   cc.runs = args.runs;
   cc.seed = args.seed;
-  const auto counts = campaign.Run(cc);
+  cc.recovery.enabled = args.recovery_retries > 0;
+  cc.recovery.max_retries = args.recovery_retries;
+  cc.escalation_epoch = args.epoch;
+  // SIGINT/SIGTERM drain at the next wave boundary: partial counts are
+  // reported (whole epochs only) and the distinct exit code 7 tells
+  // scripts the run is incomplete-but-clean, not broken.
+  fault::EngineOptions eo;
+  eo.stop = &g_stop;
+  eo.max_wave = 512;
+  const auto counts = campaign.Run(cc, eo);
+  const bool interrupted = counts.runs < cc.runs;
   const auto ci = counts.SdcCi();
   std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
             << " cover=" << cover << " blocks=" << cc.faulty_blocks
@@ -366,8 +543,114 @@ int CmdCampaign(CliArgs& args) {
             << counts.detected << ", due " << counts.due << ", crash "
             << counts.crash << ", masked " << counts.masked
             << ", corrections " << counts.corrections << "\n";
+  if (cc.recovery.enabled) {
+    std::cout << "recovered " << counts.recovered << ", reexec "
+              << counts.recovery.retries << ", retired "
+              << counts.recovery.retired_blocks << ", escalations "
+              << counts.recovery.escalations << "\n";
+  }
+  if (!args.csv_path.empty()) {
+    std::ofstream os(args.csv_path);
+    if (!os) {
+      std::cerr << "cannot write " << args.csv_path << '\n';
+      return 1;
+    }
+    fault::WriteCountsCsv(counts, campaign.ledger(), os);
+  }
   trace::WriteKernelStatsText(*profile.trace_store, std::cout);
+  if (interrupted) {
+    std::cerr << "interrupted: " << counts.runs << "/" << cc.runs
+              << " trials completed (counts above are the partial "
+                 "totals)\n";
+    return fault::kExitInterrupted;
+  }
   return 0;
+}
+
+// `dcrm shard` / `dcrm shard-worker` share one spec builder so the
+// coordinator and its children parse flags into the identical campaign
+// definition (the fingerprint double-checks that).
+fault::ShardCampaignSpec MakeShardSpec(const CliArgs& args) {
+  fault::ShardCampaignSpec spec;
+  spec.app = args.app;
+  spec.scale = args.scale;
+  spec.scheme = args.scheme;
+  spec.cover = args.cover;
+  spec.objects = args.objects;
+  spec.allow_unsound = args.allow_unsound;
+  spec.target = args.target;
+  spec.faulty_blocks = args.blocks;
+  spec.bits_per_block = args.bits;
+  spec.runs = args.runs;
+  spec.seed = args.seed;
+  spec.recovery_retries = args.recovery_retries;
+  spec.escalation_epoch = args.epoch;
+  spec.jobs = args.jobs;
+  spec.gpu = args.cfg;
+  return spec;
+}
+
+int CmdShard(const CliArgs& args, const char* argv0) {
+  fault::CoordinatorOptions opts;
+  opts.dcrm_binary = SelfExe(argv0);
+  opts.workdir = args.workdir;
+  opts.trace_path = args.load_trace_path;
+  opts.shards = args.shards;
+  opts.workers = args.workers;
+  opts.shard_timeout_ms = args.shard_timeout_ms;
+  opts.max_retries = args.max_retries;
+  opts.backoff_ms = args.backoff_ms;
+  opts.resume = args.resume;
+  opts.kill_shard = args.kill_shard;
+  opts.kill_after = args.kill_shard_after;
+  opts.hang_shard = args.hang_shard;
+  opts.hang_after = args.hang_shard_after;
+  opts.stop_after_shards = args.stop_after_shards;
+  opts.csv_path = args.csv_path;
+  opts.stop = &g_stop;
+  opts.log = &std::cerr;
+  const auto outcome = fault::RunShardCoordinator(MakeShardSpec(args), opts);
+  if (outcome.exit_code == fault::kExitOk) {
+    const auto ci = outcome.counts.SdcCi();
+    std::cout << args.app << " sharded campaign: runs="
+              << outcome.counts.runs << " shards=" << outcome.shards_total
+              << " redispatches=" << outcome.redispatches << "\nSDC "
+              << outcome.counts.sdc << " (" << 100 * ci.p << "% +/- "
+              << 100 * ci.margin << "%), detected " << outcome.counts.detected
+              << ", due " << outcome.counts.due << ", crash "
+              << outcome.counts.crash << ", masked " << outcome.counts.masked
+              << ", recovered " << outcome.counts.recovered
+              << ", corrections " << outcome.counts.corrections
+              << ", escalations " << outcome.counts.recovery.escalations
+              << "\n";
+  } else {
+    std::cerr << "sharded campaign "
+              << (outcome.exit_code == fault::kExitInterrupted
+                      ? "interrupted"
+                      : "stopped: a shard exhausted its retry budget")
+              << " at " << outcome.shards_done << "/" << outcome.shards_total
+              << " shards; re-run with --resume to continue\n";
+  }
+  return outcome.exit_code;
+}
+
+int CmdShardWorker(const CliArgs& args) {
+  fault::WorkerOptions opts;
+  opts.shard_index = args.shard_index;
+  opts.trial_begin = args.trial_begin;
+  opts.trial_end = args.trial_end;
+  opts.fingerprint = args.fingerprint;
+  opts.trace_path = args.load_trace_path;
+  opts.out_path = args.out_path;
+  opts.ledger_in = args.ledger_in;
+  opts.kill_after = args.kill_after;
+  opts.hang_after = args.hang_after;
+  opts.stop = &g_stop;
+  if (opts.trace_path.empty() || opts.out_path.empty()) {
+    std::cerr << "shard-worker needs --load-trace and --out\n";
+    return 2;
+  }
+  return fault::RunShardWorker(MakeShardSpec(args), opts);
 }
 
 int CmdRecover(CliArgs& args) {
@@ -431,7 +714,8 @@ int main(int argc, char** argv) {
   args.command = argv[1];
   int i = 2;
   if (args.command == "profile" || args.command == "timing" ||
-      args.command == "campaign" || args.command == "analyze") {
+      args.command == "campaign" || args.command == "analyze" ||
+      args.command == "shard" || args.command == "shard-worker") {
     if (argc < 3 || argv[2][0] == '-') return Usage();
     args.app = argv[2];
     i = 3;
@@ -448,6 +732,12 @@ int main(int argc, char** argv) {
         return Usage();
       }
     }
+    // Long-running commands drain at the next checkpointable boundary
+    // on SIGINT/SIGTERM instead of dying mid-trial.
+    if (args.command == "campaign" || args.command == "shard" ||
+        args.command == "shard-worker") {
+      InstallStopHandler();
+    }
     if (args.command == "apps") return CmdApps();
     if (args.command == "config") return CmdConfig(args);
     if (args.command == "profile") return CmdProfile(args);
@@ -455,6 +745,8 @@ int main(int argc, char** argv) {
     if (args.command == "campaign") return CmdCampaign(args);
     if (args.command == "recover") return CmdRecover(args);
     if (args.command == "analyze") return CmdAnalyze(args);
+    if (args.command == "shard") return CmdShard(args, argv[0]);
+    if (args.command == "shard-worker") return CmdShardWorker(args);
   } catch (const analysis::UnsoundPlanError& e) {
     // The campaign-launch gate refused an uncertifiable plan. Print
     // the full report so the misconfiguration is diagnosable, and exit
