@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
 
   TextTable t({"app", "jobs", "runs", "SDC", "detected", "masked",
                "wall ms", "speedup", "identical"});
+  std::vector<bench::JsonMetric> metrics;
   for (const auto& name : bench::SelectApps(args, {std::string("P-BICG")})) {
     auto app = apps::MakeApp(name, scale);
     const auto profile = apps::ProfileApp(*app, bench::MakeGpuConfig(args));
@@ -74,9 +75,15 @@ int main(int argc, char** argv) {
         std::cerr << "determinism violation at jobs=" << jobs << "\n";
         return 1;
       }
+      metrics.push_back({"parallel_speedup/" + name,
+                         "wall_ms@jobs=" + std::to_string(jobs), ms, "ms"});
+      metrics.push_back({"parallel_speedup/" + name,
+                         "speedup@jobs=" + std::to_string(jobs),
+                         serial_ms / ms, "x"});
     }
   }
   bench::Emit(t, args);
+  bench::EmitJson(args, metrics);
   std::cout
       << "expectation: near-linear speedup up to the physical core count "
          "(trials are independent kernel executions; the only barriers "

@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -54,9 +55,11 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.jobs = static_cast<unsigned>(std::stoul(*v));
       if (args.jobs == 0) args.jobs = std::thread::hardware_concurrency();
       if (args.jobs == 0) args.jobs = 1;
+    } else if (auto v = value("--json=")) {
+      args.json_path = *v;
     } else if (a == "--help" || a == "-h") {
       std::cout << "flags: --runs=N --seed=N --scale=tiny|small|medium "
-                   "--apps=A,B --config=FILE --csv --jobs=N\n";
+                   "--apps=A,B --config=FILE --csv --jobs=N --json=FILE\n";
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown flag: " + a);
@@ -104,6 +107,41 @@ void PrintHeader(const std::string& title, const std::string& what,
 
 void Emit(const TextTable& table, const BenchArgs& args) {
   std::cout << (args.csv ? table.RenderCsv() : table.Render()) << "\n";
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteBenchJson(const std::string& path,
+                    const std::vector<JsonMetric>& metrics) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write bench json: " + path);
+  os.precision(12);
+  os << "[\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const auto& m = metrics[i];
+    os << "  {\"name\": \"" << JsonEscape(m.name) << "\", \"metric\": \""
+       << JsonEscape(m.metric) << "\", \"value\": " << m.value
+       << ", \"units\": \"" << JsonEscape(m.units) << "\"}"
+       << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+void EmitJson(const BenchArgs& args, const std::vector<JsonMetric>& metrics) {
+  if (!args.json_path) return;
+  WriteBenchJson(*args.json_path, metrics);
+  std::cout << "json metrics -> " << *args.json_path << "\n";
 }
 
 fault::ParallelCampaign MakeCampaign(const std::string& app_name,

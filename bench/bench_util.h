@@ -10,6 +10,8 @@
 //   --jobs=N          parallel campaign workers (campaign benches;
 //                     0 = all hardware threads). Campaign results are
 //                     bit-identical at any N.
+//   --json=FILE       also write headline metrics as a JSON array of
+//                     {name, metric, value, units} records
 #pragma once
 
 #include <cstdint>
@@ -32,7 +34,8 @@ struct BenchArgs {
   std::vector<std::string> apps;
   std::optional<std::string> config_path;  // --config=FILE (config_io)
   bool csv = false;
-  unsigned jobs = 1;  // campaign fan-out workers
+  unsigned jobs = 1;                      // campaign fan-out workers
+  std::optional<std::string> json_path;   // --json=FILE metric dump
 };
 
 BenchArgs ParseArgs(int argc, char** argv);
@@ -49,6 +52,22 @@ void PrintHeader(const std::string& title, const std::string& what,
                  apps::AppScale effective_scale);
 
 void Emit(const TextTable& table, const BenchArgs& args);
+
+// One headline number a downstream tool can track across runs. The
+// sweep script collects these into committed-format BENCH_*.json files
+// via --json=FILE.
+struct JsonMetric {
+  std::string name;    // series, e.g. "importance_sampling/P-ATAX"
+  std::string metric;  // what is measured, e.g. "trial_reduction"
+  double value = 0.0;
+  std::string units;   // "x", "percent", "trials", ...
+};
+
+// Writes `metrics` to `path` as a JSON array of records; no-op when
+// args.json_path is unset in the EmitJson overload.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<JsonMetric>& metrics);
+void EmitJson(const BenchArgs& args, const std::vector<JsonMetric>& metrics);
 
 const char* ScaleName(apps::AppScale s);
 

@@ -28,7 +28,11 @@ run $B/bench_ext_fault_shapes --runs=50
 run $B/bench_ext_online_detection
 run $B/bench_ext_writable --runs=50
 run $B/bench_ext_recovery --runs=40
-run $B/bench_parallel_speedup --runs=200
+run $B/bench_parallel_speedup --runs=200 --json=BENCH_parallel_speedup.json
+# Importance sampling must hit >=5x fewer trials at matched confidence
+# (the bench exits nonzero otherwise, failing the sweep).
+run_tee results_importance_sampling.txt $B/bench_importance_sampling \
+  --runs=400 --jobs=4 --json=BENCH_importance_sampling.json
 run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small --runs=200
 # Committed results_shard_campaign.txt is this bench at its default
 # 10^6 trials (`$B/bench_shard_campaign | tee results_shard_campaign.txt`,

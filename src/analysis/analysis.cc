@@ -81,6 +81,8 @@ const char* CheckName(Check c) {
       return "coalescing";
     case Check::kHotClaim:
       return "hot-claim";
+    case Check::kVulnerability:
+      return "vulnerability";
   }
   return "?";
 }

@@ -45,6 +45,7 @@ enum class Check : std::uint8_t {
   kCapacity,       // LD/ST-unit table overflow (PC / replica-address)
   kCoalescing,     // poorly coalesced protected loads (diagnostic)
   kHotClaim,       // hot classifier's read-only claim contradicts traces
+  kVulnerability,  // ACE liveness / AVF findings (analysis/vulnerability.h)
 };
 
 const char* SeverityName(Severity s);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "analysis/analysis.h"
+#include "analysis/vulnerability.h"
 #include "exec/launcher.h"
 #include "fault/fault_shapes.h"
 #include "fault/parallel_campaign.h"
@@ -132,23 +133,59 @@ void FaultCampaign::FinishInit(
 
   // Exposure-weighted sampling tables (the Fig. 8 selection step).
   // The weight of a block is its count of L2/DRAM-visible load
-  // transactions — the accesses a fault in L2/DRAM can corrupt. The
-  // paper's configs effectively bypass L1 for global loads (its
-  // Table III access shares only reproduce under transaction
-  // counting), so "L1-missed accesses" equals this. Falls back to the
-  // timing-simulated L1 miss profile if no transaction profile was
-  // attached.
-  std::uint64_t acc = 0;
-  bool have_txns = false;
-  for (const auto& [block, bp] : profile.profiler.blocks()) {
-    have_txns = have_txns || bp.txns > 0;
+  // transactions — the accesses a fault in L2/DRAM can corrupt. See
+  // BuildExposureUniverse for why transaction counting is the primary
+  // weight and the L1-miss profile only a fallback.
+  {
+    auto universe = analysis::BuildExposureUniverse(profile.profiler);
+    tables->weighted_blocks = std::move(universe.blocks);
+    tables->weight_prefix = std::move(universe.weight_prefix);
   }
-  for (const auto& [block, bp] : profile.profiler.blocks()) {
-    const std::uint64_t w = have_txns ? bp.txns : bp.l1_misses;
-    if (w == 0) continue;
-    tables->weighted_blocks.push_back(block);
-    acc += w;
-    tables->weight_prefix.push_back(acc);
+
+  // Static liveness map + the SDC-reachable restriction of each target
+  // (what --importance-sampling draws from). The restriction is purely
+  // plan-based (analysis::SdcPossible) — a superset of the truly
+  // SDC-reachable set under any ECC mode or recovery tier — so the
+  // reweighted estimator stays unbiased no matter how the trial ends.
+  if (profile.trace_store != nullptr) {
+    auto vuln = std::make_shared<analysis::VulnerabilityMap>(
+        analysis::AnalyzeVulnerability(*profile.trace_store, dev_.space(),
+                                       app_->OutputObjects()));
+    const auto reachable = [&](std::uint64_t block) {
+      const analysis::BlockLiveness* b = vuln->Find(block);
+      // Blocks outside the map (no named owner and never traced) are
+      // treated as reachable: the analysis proves nothing about them.
+      return b == nullptr || analysis::SdcPossible(*b, plan_);
+    };
+    for (std::uint64_t b : tables->split.hot) {
+      if (reachable(b)) tables->reachable_hot.push_back(b);
+    }
+    for (std::uint64_t b : tables->split.rest) {
+      if (reachable(b)) tables->reachable_rest.push_back(b);
+    }
+    std::uint64_t racc = 0;
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < tables->weighted_blocks.size(); ++i) {
+      const std::uint64_t w = tables->weight_prefix[i] - prev;
+      prev = tables->weight_prefix[i];
+      if (!reachable(tables->weighted_blocks[i])) continue;
+      tables->reachable_weighted.push_back(tables->weighted_blocks[i]);
+      racc += w;
+      tables->reachable_weight_prefix.push_back(racc);
+    }
+    const auto share = [](std::uint64_t num, std::uint64_t den) {
+      return den == 0 ? 0.0
+                      : static_cast<double>(num) / static_cast<double>(den);
+    };
+    tables->reachable_share = {
+        share(tables->reachable_hot.size(), tables->split.hot.size()),
+        share(tables->reachable_rest.size(), tables->split.rest.size()),
+        share(tables->reachable_weight_prefix.empty()
+                  ? 0
+                  : tables->reachable_weight_prefix.back(),
+              tables->weight_prefix.empty() ? 0
+                                            : tables->weight_prefix.back())};
+    tables->vulnerability = std::move(vuln);
   }
   tables_ = std::move(tables);
 }
@@ -178,19 +215,32 @@ std::vector<float> FaultCampaign::ReadObservedOutputs() const {
   return out;
 }
 
-std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
-                                                       unsigned count,
-                                                       Rng& rng) const {
+std::vector<std::uint64_t> FaultCampaign::SelectBlocks(
+    const CampaignConfig& cfg, Rng& rng) const {
   // An app's hot set can be smaller than the requested block count
   // (A-Laplacian's hot objects span 3 blocks); inject into all of it.
+  // Under importance sampling, selection draws from the SDC-reachable
+  // restriction of the same distribution; everything else — the RNG,
+  // the rejection loop, the within-list weights — is untouched, so the
+  // flag off reproduces the historical streams bit for bit.
+  const Target target = cfg.target;
+  unsigned count = cfg.faulty_blocks;
   const CampaignTables& t = *tables_;
+  const bool is = cfg.importance_sampling;
+  const auto& hot = is ? t.reachable_hot : t.split.hot;
+  const auto& rest = is ? t.reachable_rest : t.split.rest;
+  const auto& weighted = is ? t.reachable_weighted : t.weighted_blocks;
+  const auto& prefix = is ? t.reachable_weight_prefix : t.weight_prefix;
   const std::size_t available = target == Target::kHotBlocks
-                                    ? t.split.hot.size()
+                                    ? hot.size()
                                     : target == Target::kRestBlocks
-                                          ? t.split.rest.size()
-                                          : t.weighted_blocks.size();
+                                          ? rest.size()
+                                          : weighted.size();
   if (available == 0) {
-    throw std::invalid_argument("no blocks in the requested target set");
+    throw std::invalid_argument(
+        is ? "importance sampling: no SDC-reachable blocks in the target "
+             "set (the static analysis proves the SDC rate is zero)"
+           : "no blocks in the requested target set");
   }
   count = static_cast<unsigned>(
       std::min<std::size_t>(count, available));
@@ -206,23 +256,17 @@ std::vector<std::uint64_t> FaultCampaign::SelectBlocks(Target target,
     switch (target) {
       case Target::kHotBlocks:
       case Target::kRestBlocks: {
-        const auto& list =
-            target == Target::kHotBlocks ? t.split.hot : t.split.rest;
-        if (list.empty()) {
-          throw std::invalid_argument("no blocks in the requested target set");
-        }
+        const auto& list = target == Target::kHotBlocks ? hot : rest;
         block = list[rng.Below(list.size())];
         break;
       }
       case Target::kMissWeighted: {
-        if (t.weighted_blocks.empty()) {
+        if (weighted.empty()) {
           throw std::invalid_argument("no L1-miss profile available");
         }
-        const std::uint64_t r = rng.Below(t.weight_prefix.back());
-        const auto it = std::upper_bound(t.weight_prefix.begin(),
-                                         t.weight_prefix.end(), r);
-        block = t.weighted_blocks[static_cast<std::size_t>(
-            it - t.weight_prefix.begin())];
+        const std::uint64_t r = rng.Below(prefix.back());
+        const auto it = std::upper_bound(prefix.begin(), prefix.end(), r);
+        block = weighted[static_cast<std::size_t>(it - prefix.begin())];
         break;
       }
     }
@@ -291,7 +335,7 @@ TrialResult FaultCampaign::RunTrial(const CampaignConfig& cfg,
   // The trial's own counter-based stream: its faults depend only on
   // (cfg.seed, trial), never on which trials ran before it.
   Rng rng(TrialSeed(cfg.seed, trial));
-  const auto blocks = SelectBlocks(cfg.target, cfg.faulty_blocks, rng);
+  const auto blocks = SelectBlocks(cfg, rng);
   std::vector<mem::StuckAtFault> faults;
   for (std::uint64_t block : blocks) {
     // Restrict the target word to the owning object's bytes within

@@ -11,7 +11,9 @@
 //    Fig. 9 experiment — misses are what L2/DRAM faults can reach).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "apps/driver.h"
@@ -20,6 +22,10 @@
 #include "core/recovery.h"
 #include "core/replication.h"
 #include "sim/replication.h"
+
+namespace dcrm::analysis {
+class VulnerabilityMap;
+}  // namespace dcrm::analysis
 
 namespace dcrm::fault {
 
@@ -76,6 +82,15 @@ struct CampaignConfig {
   // the schedule is a pure function of the config — identical at any
   // worker count. Ignored unless recovery escalation is active.
   unsigned escalation_epoch = 16;
+  // Importance sampling: restrict block selection to the statically
+  // SDC-reachable blocks (consumed and not fully checked by the plan —
+  // analysis::SdcPossible). The SDC estimate stays unbiased by scaling
+  // the conditional rate with the reachable weight share
+  // (FaultCampaign::SamplingShare); trials stop being wasted on blocks
+  // the static analysis proves harmless. Requires faulty_blocks == 1
+  // and an in-block fault shape. Off by default — and when off, block
+  // selection is bit-identical to campaigns that predate the flag.
+  bool importance_sampling = false;
 };
 
 // Counter-based per-trial RNG stream seed: a splitmix64-style mix of
@@ -147,6 +162,18 @@ struct CampaignTables {
   core::BlockSplit split;           // hot / rest block lists
   std::vector<std::uint64_t> weighted_blocks;
   std::vector<std::uint64_t> weight_prefix;  // cumulative txn weights
+
+  // Static block-liveness map over the same traces (built once per
+  // campaign, shared with the workers like everything else here) and
+  // the SDC-reachable restriction of each sampling target that
+  // importance sampling draws from. share[t] is the reachable fraction
+  // of target t's selection probability mass — the unbiasing constant.
+  std::shared_ptr<const analysis::VulnerabilityMap> vulnerability;
+  std::vector<std::uint64_t> reachable_hot;
+  std::vector<std::uint64_t> reachable_rest;
+  std::vector<std::uint64_t> reachable_weighted;
+  std::vector<std::uint64_t> reachable_weight_prefix;
+  std::array<double, 3> reachable_share = {1.0, 1.0, 1.0};
 };
 
 // One campaign instance: the application with a fixed protection
@@ -233,11 +260,27 @@ class FaultCampaign {
   // The campaign's immutable tables, shareable with fan-out replicas.
   std::shared_ptr<const CampaignTables> tables() const { return tables_; }
 
+  // The static liveness map behind the tables (null only for profiles
+  // without a trace store) and this device's ECC mode — what the
+  // cross-check gate needs to re-derive the campaign's outcome bounds.
+  const analysis::VulnerabilityMap* vulnerability() const {
+    return tables_->vulnerability.get();
+  }
+  mem::EccMode ecc_mode() const { return dev_.ecc_mode(); }
+
+  // Importance-sampling share for a target: the fraction of the
+  // target's selection probability mass on SDC-reachable blocks. The
+  // unbiased SDC estimate from an importance-sampled campaign is
+  // share * (sdc / runs); 0 means SDC is statically impossible.
+  double SamplingShare(Target target) const {
+    return tables_->reachable_share[static_cast<std::size_t>(target)];
+  }
+
  private:
   void FinishInit(bool allow_unsound,
                   std::shared_ptr<const CampaignTables> shared_tables);
   std::vector<float> ReadObservedOutputs() const;
-  std::vector<std::uint64_t> SelectBlocks(Target target, unsigned count,
+  std::vector<std::uint64_t> SelectBlocks(const CampaignConfig& cfg,
                                           Rng& rng) const;
 
   apps::App* app_;

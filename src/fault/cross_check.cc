@@ -1,0 +1,165 @@
+#include "fault/cross_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/recovery.h"
+
+namespace dcrm::fault {
+namespace {
+
+std::string Rate(unsigned num, unsigned den) {
+  std::ostringstream os;
+  os << num << "/" << den;
+  return os.str();
+}
+
+}  // namespace
+
+CrossCheckResult CrossCheckCounts(const FaultCampaign& campaign,
+                                  const CampaignConfig& cfg,
+                                  const CampaignCounts& counts,
+                                  const CrossCheckOptions& opts) {
+  const analysis::VulnerabilityMap* vuln = campaign.vulnerability();
+  if (vuln == nullptr) {
+    throw std::invalid_argument(
+        "cross-check needs a trace-backed profile "
+        "(no vulnerability map available)");
+  }
+
+  analysis::BoundsSpec spec;
+  spec.faulty_blocks = cfg.faulty_blocks;
+  spec.secded = campaign.ecc_mode() == mem::EccMode::kSecded;
+  spec.recovery = cfg.recovery.enabled;
+  spec.escalation = cfg.recovery.enabled && cfg.recovery.escalate;
+  spec.in_block_shape = cfg.shape != FaultShape::kDramRow;
+  spec.multi_bit_words =
+      cfg.shape == FaultShape::kWordBits && cfg.bits_per_block >= 3;
+  spec.due_capable_words =
+      !(cfg.shape == FaultShape::kWordBits && cfg.bits_per_block <= 1);
+
+  // The universe the trials actually drew from. Under importance
+  // sampling that is the SDC-reachable restriction, so the observed
+  // conditional rates compare against its bounds directly — no share
+  // scaling inside the gate.
+  const CampaignTables& t = *campaign.tables();
+  const bool is = cfg.importance_sampling;
+  analysis::TargetUniverse universe;
+  switch (cfg.target) {
+    case Target::kHotBlocks:
+      universe.blocks = is ? t.reachable_hot : t.split.hot;
+      break;
+    case Target::kRestBlocks:
+      universe.blocks = is ? t.reachable_rest : t.split.rest;
+      break;
+    case Target::kMissWeighted:
+      universe.blocks = is ? t.reachable_weighted : t.weighted_blocks;
+      universe.weight_prefix =
+          is ? t.reachable_weight_prefix : t.weight_prefix;
+      break;
+  }
+
+  CrossCheckResult r;
+  r.runs = counts.runs;
+  r.bounds = analysis::DeriveOutcomeBounds(*vuln, campaign.plan(), universe,
+                                           spec);
+  const analysis::OutcomeBounds& b = r.bounds;
+  auto fail = [&r](const std::string& msg) { r.failures.push_back(msg); };
+
+  // Structural facts first — exact, no statistical slack. Any hit here
+  // means the engine (or the config it claims to have run) is broken,
+  // regardless of trial count.
+  if (counts.detected > 0 && !b.detected_possible) {
+    fail("counted " + std::to_string(counts.detected) +
+         " detection outcome(s) with no protection scheme active");
+  }
+  if (counts.due > 0 && !b.due_possible) {
+    fail("counted " + std::to_string(counts.due) +
+         " DUE outcome(s) the device cannot raise (no SECDED, or the "
+         "fault shape never leaves 2 flips in one ECC word)");
+  }
+  if (counts.recovered > 0 && !b.recovered_possible) {
+    fail("counted " + std::to_string(counts.recovered) +
+         " recovered outcome(s) with no recoverable trigger "
+         "(recovery disabled, or neither detection nor DUE possible)");
+  }
+  if (counts.corrections > 0 && !b.corrections_possible) {
+    fail("counted " + std::to_string(counts.corrections) +
+         " vote correction(s) under a plan that cannot vote "
+         "(detect-only without escalation, or no scheme)");
+  }
+  if (!cfg.recovery.enabled && counts.recovery != core::RecoveryStats{}) {
+    fail("recovery work counters are non-zero with recovery disabled");
+  }
+  if (b.sdc_max == 0.0 && counts.sdc + counts.crash > 0) {
+    fail("counted " + std::to_string(counts.sdc + counts.crash) +
+         " SDC/crash outcome(s) where silent corruption is statically "
+         "impossible");
+  }
+
+  // Statistical checks: observed rates vs. selection-probability
+  // bounds, with a Hoeffding slack for the Monte-Carlo noise.
+  if (b.bounded && counts.runs > 0) {
+    const double n = static_cast<double>(counts.runs);
+    r.epsilon = std::sqrt(std::log(1.0 / opts.alpha) / (2.0 * n));
+    const double sdc_rate =
+        static_cast<double>(counts.sdc + counts.crash) / n;
+    if (sdc_rate > b.sdc_max + r.epsilon) {
+      std::ostringstream os;
+      os << "SDC+crash rate " << Rate(counts.sdc + counts.crash, counts.runs)
+         << " = " << sdc_rate << " exceeds the static bound " << b.sdc_max
+         << " (+" << r.epsilon << " slack)";
+      fail(os.str());
+    }
+    const double masked_rate = static_cast<double>(counts.masked) / n;
+    if (masked_rate < b.masked_min - r.epsilon) {
+      std::ostringstream os;
+      os << "masked rate " << Rate(counts.masked, counts.runs) << " = "
+         << masked_rate << " falls below the static floor " << b.masked_min
+         << " (-" << r.epsilon << " slack)";
+      fail(os.str());
+    }
+    // Detections require hitting a consumed protected block. Recovered
+    // outcomes start from a detection too — unless SECDED is on, in
+    // which case a DUE on any consumed block can open recovery.
+    const unsigned detected_like =
+        counts.detected + (spec.secded ? 0 : counts.recovered);
+    const double detected_rate = static_cast<double>(detected_like) / n;
+    if (detected_rate > b.detected_max + r.epsilon) {
+      std::ostringstream os;
+      os << "detection rate " << Rate(detected_like, counts.runs) << " = "
+         << detected_rate << " exceeds the static bound " << b.detected_max
+         << " (+" << r.epsilon << " slack)";
+      fail(os.str());
+    }
+  }
+  return r;
+}
+
+void WriteCrossCheckText(const CrossCheckResult& r, std::ostream& os) {
+  const analysis::OutcomeBounds& b = r.bounds;
+  os << "cross-check: " << r.runs << " trials vs static bounds over "
+     << b.universe_blocks << " blocks (" << b.sdc_blocks
+     << " SDC-reachable, " << b.inert_blocks << " inert)\n";
+  if (b.bounded) {
+    os << "  bounds: sdc<=" << b.sdc_max << " masked>=" << b.masked_min
+       << " detected<=" << b.detected_max << " (slack " << r.epsilon
+       << ")\n";
+  } else {
+    os << "  bounds: structural facts only (fault shape spreads across "
+          "blocks)\n";
+  }
+  os << "  possible: detected=" << (b.detected_possible ? "yes" : "no")
+     << " due=" << (b.due_possible ? "yes" : "no")
+     << " recovered=" << (b.recovered_possible ? "yes" : "no")
+     << " corrections=" << (b.corrections_possible ? "yes" : "no") << "\n";
+  if (r.Pass()) {
+    os << "  PASS: observed counts are consistent with the static "
+          "analysis\n";
+  } else {
+    os << "  FAIL: " << r.failures.size() << " violation(s)\n";
+    for (const std::string& f : r.failures) os << "    - " << f << "\n";
+  }
+}
+
+}  // namespace dcrm::fault

@@ -1,0 +1,61 @@
+// Campaign cross-check gate: holds finished Monte-Carlo counts against
+// the static outcome bounds of analysis/vulnerability.h — a statistical
+// lint over the fault-injection engine itself.
+//
+// The static pass knows, from the traces and the plan alone, facts the
+// campaign must obey: a scheme-less campaign cannot terminate a run
+// with a detection, a SECDED-less device cannot raise a DUE, a
+// detect-only plan without escalation cannot perform vote corrections
+// (the PR 3 escalation-state bug class), and the SDC/masked rates must
+// fall inside selection-probability bounds. A finished campaign whose
+// counts violate any of these is not unlucky — it is broken (or its
+// configuration is not the one it claims), and `dcrm campaign
+// --cross-check` fails with its own exit code so CI can gate on it.
+//
+// Statistical checks use a Hoeffding slack: for n trials and a
+// per-check false-positive budget alpha, an observed rate may exceed
+// its bound by at most sqrt(ln(1/alpha) / 2n) before the gate fires.
+// Bounds that are exactly 0 (or 1) are structural facts and are
+// checked exactly, with no slack.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/vulnerability.h"
+#include "fault/campaign.h"
+
+namespace dcrm::fault {
+
+// `dcrm campaign --cross-check` exit code when the observed counts
+// fall outside the static bounds (README.md exit-code table).
+inline constexpr int kExitBoundsViolated = 9;
+
+struct CrossCheckOptions {
+  // Per-check false-positive probability for the statistical checks.
+  // The default keeps a CI that runs thousands of gated campaigns
+  // effectively free of spurious failures.
+  double alpha = 1e-9;
+};
+
+struct CrossCheckResult {
+  analysis::OutcomeBounds bounds;
+  double epsilon = 0.0;  // Hoeffding slack at the observed trial count
+  unsigned runs = 0;
+  std::vector<std::string> failures;  // empty => counts are in bounds
+
+  bool Pass() const { return failures.empty(); }
+};
+
+// Derives the bounds for this campaign's configuration (plan, ECC
+// mode, fault shape, sampling universe — the importance-sampling
+// restriction included) and compares `counts` against them.
+CrossCheckResult CrossCheckCounts(const FaultCampaign& campaign,
+                                  const CampaignConfig& cfg,
+                                  const CampaignCounts& counts,
+                                  const CrossCheckOptions& opts = {});
+
+void WriteCrossCheckText(const CrossCheckResult& r, std::ostream& os);
+
+}  // namespace dcrm::fault

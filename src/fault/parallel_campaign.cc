@@ -19,6 +19,27 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
   if (workers.empty()) {
     throw std::invalid_argument("campaign engine needs at least one worker");
   }
+  if (cfg.importance_sampling) {
+    // The reweighting math (SamplingShare) assumes the trial's outcome
+    // is attributable to the one selected block, and that faults stay
+    // inside it: multi-block trials and the row shape (which spreads
+    // across unselected blocks) would bias the scaled estimate.
+    if (cfg.faulty_blocks != 1) {
+      throw std::invalid_argument(
+          "importance sampling requires faulty_blocks == 1");
+    }
+    if (cfg.shape == FaultShape::kDramRow) {
+      throw std::invalid_argument(
+          "importance sampling requires an in-block fault shape");
+    }
+    for (FaultCampaign* w : workers) {
+      if (w->vulnerability() == nullptr) {
+        throw std::invalid_argument(
+            "importance sampling needs a trace-backed profile "
+            "(no vulnerability map available)");
+      }
+    }
+  }
   const unsigned range_begin = std::min(opts.begin, cfg.runs);
   const unsigned range_end = std::min(opts.end, cfg.runs);
   if (range_begin > range_end) {

@@ -27,6 +27,12 @@
 //                 the recorded access streams (races, read-only proof,
 //                 replica aliasing, LD/ST-table capacity) — no timing
 //                 simulation, no fault injection
+//   dcrm avf <app> [--scheme=..] [--cover=N | --objects=a,b,c]
+//                 [--blocks=N] [--bits=N] [--csv=FILE]
+//                 static vulnerability analysis: ACE-style block
+//                 liveness and per-object AVF over the recorded
+//                 streams, plus the derived outcome bounds a campaign
+//                 with these flags would be held to
 //   dcrm shard <app> [campaign flags] [--shards=N] [--workers=M]
 //                 [--workdir=DIR] [--resume] [--shard-timeout=SECONDS]
 //                 [--max-retries=N] [--backoff-ms=N] [--csv=FILE]
@@ -49,7 +55,8 @@
 // a SECDED uncorrectable error, 5 the analyzer certified with
 // warnings, 6 the analyzer found violations, 7 interrupted at a
 // checkpointable boundary (resumable), 8 a shard's retry budget was
-// exhausted (resumable), 1 any other error.
+// exhausted (resumable), 9 campaign counts violated the static bounds
+// (--cross-check), 1 any other error.
 #include <unistd.h>
 
 #include <atomic>
@@ -63,11 +70,13 @@
 #include <thread>
 
 #include "analysis/analysis.h"
+#include "analysis/vulnerability.h"
 #include "apps/driver.h"
 #include "apps/registry.h"
 #include "core/profile_io.h"
 #include "core/recovery.h"
 #include "fault/campaign.h"
+#include "fault/cross_check.h"
 #include "fault/parallel_campaign.h"
 #include "fault/shard_coordinator.h"
 #include "fault/shard_io.h"
@@ -123,6 +132,11 @@ struct CliArgs {
   std::vector<std::string> objects;  // explicit cover (analyze, campaign)
   std::string csv_path;              // analyze/campaign/shard: CSV output
   bool allow_unsound = false;        // campaign: skip the launch gate
+  // Campaign: restrict trials to statically SDC-reachable blocks
+  // (unbiased via the stored weight share) / gate the finished counts
+  // against the static outcome bounds.
+  bool importance_sampling = false;
+  bool cross_check = false;
   // Campaign/shard recovery pipeline: budget 0 = the paper's
   // detect-and-die, >0 enables tiered recovery (and with it Tier-2
   // escalation, the cross-trial coupling).
@@ -155,7 +169,7 @@ struct CliArgs {
 int Usage() {
   std::cerr
       << "usage: dcrm "
-         "<apps|config|profile|timing|campaign|recover|analyze|shard> "
+         "<apps|config|profile|timing|campaign|recover|analyze|avf|shard> "
          "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
          "       --save=FILE --save-trace=FILE (profile)\n"
@@ -173,6 +187,10 @@ int Usage() {
          "counts+ledger)\n"
          "       --allow-unsound (campaign: run despite analyzer "
          "violations)\n"
+         "       --importance-sampling (campaign: draw trials from the "
+         "statically SDC-reachable blocks only; unbiased)\n"
+         "       --cross-check (campaign: gate finished counts against "
+         "the static bounds, exit 9 on violation)\n"
          "       --recovery=N --epoch=N (campaign, shard: tiered recovery "
          "budget / escalation epoch)\n"
          "       --shards=N --workers=M --workdir=DIR --resume\n"
@@ -268,6 +286,14 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (a == "--allow-unsound") {
     args.allow_unsound = true;
+    return true;
+  }
+  if (a == "--importance-sampling") {
+    args.importance_sampling = true;
+    return true;
+  }
+  if (a == "--cross-check") {
+    args.cross_check = true;
     return true;
   }
   if (auto v = value("--recovery=")) {
@@ -502,6 +528,62 @@ int CmdAnalyze(CliArgs& args) {
   return report.ExitCode();
 }
 
+int CmdAvf(CliArgs& args) {
+  auto app = apps::MakeApp(args.app, args.scale);
+  const auto profile =
+      apps::ProfileApp(*app, args.cfg, {}, MaybeLoadTrace(args));
+  apps::ProtectionSetup setup;
+  if (!args.objects.empty()) {
+    setup = apps::MakeProtectionSetupForObjects(*app, profile, args.scheme,
+                                                args.objects);
+  } else {
+    unsigned cover = args.cover.value_or(
+        static_cast<unsigned>(profile.hot.hot_objects.size()));
+    if (args.scheme == sim::Scheme::kNone) cover = 0;
+    setup = apps::MakeProtectionSetup(*app, profile, args.scheme, cover);
+  }
+  const auto map = analysis::AnalyzeVulnerability(
+      *profile.trace_store, setup.dev->space(), app->OutputObjects());
+  std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
+            << " ranges=" << setup.plan.ranges.size()
+            << " pcs=" << setup.plan.pcs.size() << "\n";
+  analysis::WriteVulnerabilityText(map, setup.plan, std::cout);
+
+  // Outcome bounds a campaign with these flags would be held to, over
+  // the default exposure-weighted universe.
+  const auto universe = analysis::BuildExposureUniverse(profile.profiler);
+  analysis::BoundsSpec spec;
+  spec.faulty_blocks = args.blocks;
+  spec.multi_bit_words = args.bits >= 3;
+  spec.due_capable_words = args.bits >= 2;
+  const auto bounds = analysis::DeriveOutcomeBounds(
+      map, setup.plan,
+      analysis::TargetUniverse{universe.blocks, universe.weight_prefix},
+      spec);
+  std::cout << "campaign bounds (miss-weighted, blocks=" << args.blocks
+            << " bits=" << args.bits << "): sdc<=" << bounds.sdc_max
+            << " masked>=" << bounds.masked_min << " over "
+            << bounds.universe_blocks << " blocks (" << bounds.sdc_blocks
+            << " SDC-reachable, " << bounds.inert_blocks
+            << " inert, reachable weight share "
+            << bounds.sdc_weight_share << ")\n";
+
+  analysis::Report report;
+  report.Append(
+      analysis::AuditVulnerability(map, setup.dev->space(), setup.plan));
+  analysis::WriteText(report, std::cout);
+  if (!args.csv_path.empty()) {
+    std::ofstream os(args.csv_path);
+    if (!os) {
+      std::cerr << "cannot write " << args.csv_path << '\n';
+      return 1;
+    }
+    analysis::WriteVulnerabilityCsv(map, setup.plan, os);
+    std::cout << "report saved to " << args.csv_path << '\n';
+  }
+  return report.ExitCode();
+}
+
 int CmdCampaign(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
   const auto profile =
@@ -526,6 +608,19 @@ int CmdCampaign(CliArgs& args) {
   cc.recovery.enabled = args.recovery_retries > 0;
   cc.recovery.max_retries = args.recovery_retries;
   cc.escalation_epoch = args.epoch;
+  cc.importance_sampling = args.importance_sampling;
+  if (cc.importance_sampling &&
+      campaign.front().SamplingShare(cc.target) == 0.0) {
+    // The static analysis proves every selectable block is either
+    // never consumed or fully checked: the SDC rate is exactly zero,
+    // no trials required.
+    std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
+              << " cover=" << cover
+              << ": importance sampling found no SDC-reachable blocks "
+                 "in the target set — SDC rate is statically 0, skipping "
+              << cc.runs << " trials\n";
+    return 0;
+  }
   // SIGINT/SIGTERM drain at the next wave boundary: partial counts are
   // reported (whole epochs only) and the distinct exit code 7 tells
   // scripts the run is incomplete-but-clean, not broken.
@@ -543,6 +638,14 @@ int CmdCampaign(CliArgs& args) {
             << counts.detected << ", due " << counts.due << ", crash "
             << counts.crash << ", masked " << counts.masked
             << ", corrections " << counts.corrections << "\n";
+  if (cc.importance_sampling && counts.runs > 0) {
+    // Rates above are conditional on hitting an SDC-reachable block;
+    // the unconditional estimate rescales by the reachable share.
+    const double share = campaign.front().SamplingShare(cc.target);
+    std::cout << "importance sampling: reachable share " << share
+              << ", unconditional SDC estimate " << 100 * share * ci.p
+              << "% +/- " << 100 * share * ci.margin << "%\n";
+  }
   if (cc.recovery.enabled) {
     std::cout << "recovered " << counts.recovered << ", reexec "
               << counts.recovery.retries << ", retired "
@@ -563,6 +666,12 @@ int CmdCampaign(CliArgs& args) {
               << " trials completed (counts above are the partial "
                  "totals)\n";
     return fault::kExitInterrupted;
+  }
+  if (args.cross_check) {
+    const auto check =
+        fault::CrossCheckCounts(campaign.front(), cc, counts);
+    fault::WriteCrossCheckText(check, std::cout);
+    if (!check.Pass()) return fault::kExitBoundsViolated;
   }
   return 0;
 }
@@ -715,7 +824,8 @@ int main(int argc, char** argv) {
   int i = 2;
   if (args.command == "profile" || args.command == "timing" ||
       args.command == "campaign" || args.command == "analyze" ||
-      args.command == "shard" || args.command == "shard-worker") {
+      args.command == "avf" || args.command == "shard" ||
+      args.command == "shard-worker") {
     if (argc < 3 || argv[2][0] == '-') return Usage();
     args.app = argv[2];
     i = 3;
@@ -745,6 +855,7 @@ int main(int argc, char** argv) {
     if (args.command == "campaign") return CmdCampaign(args);
     if (args.command == "recover") return CmdRecover(args);
     if (args.command == "analyze") return CmdAnalyze(args);
+    if (args.command == "avf") return CmdAvf(args);
     if (args.command == "shard") return CmdShard(args, argv[0]);
     if (args.command == "shard-worker") return CmdShardWorker(args);
   } catch (const analysis::UnsoundPlanError& e) {
