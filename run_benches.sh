@@ -33,7 +33,8 @@ run $B/bench_parallel_speedup --runs=200 --json=BENCH_parallel_speedup.json
 # (the bench exits nonzero otherwise, failing the sweep).
 run_tee results_importance_sampling.txt $B/bench_importance_sampling \
   --runs=400 --jobs=4 --json=BENCH_importance_sampling.json
-run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small --runs=200
+run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small \
+  --runs=200 --json=BENCH_sim_throughput.json
 # Committed results_shard_campaign.txt is this bench at its default
 # 10^6 trials (`$B/bench_shard_campaign | tee results_shard_campaign.txt`,
 # ~10 min); the sweep runs a wall-clock-friendly count.

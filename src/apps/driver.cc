@@ -92,6 +92,18 @@ sim::GpuStats RunTiming(const App& app, const ProfileResult& profile,
   return gpu.Run(*profile.trace_store);
 }
 
+TimingDetail RunTimingDetailed(const App& app, const ProfileResult& profile,
+                               sim::GpuConfig cfg,
+                               const sim::ProtectionPlan& plan) {
+  cfg.alu_cycles_per_mem = app.AluCyclesPerMem();
+  sim::Gpu gpu(cfg, plan);
+  TimingDetail out;
+  out.total = gpu.Run(*profile.trace_store);
+  out.per_sm = gpu.PerSmStats();
+  out.per_partition = gpu.PerPartitionStats();
+  return out;
+}
+
 ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
                          const core::HotConfig& hot_cfg,
                          std::shared_ptr<const trace::TraceStore> preloaded) {

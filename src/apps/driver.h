@@ -67,4 +67,17 @@ ProtectionSetup MakeProtectionSetupForObjects(
 sim::GpuStats RunTiming(const App& app, const ProfileResult& profile,
                         sim::GpuConfig cfg, const sim::ProtectionPlan& plan);
 
+// RunTiming plus the per-SM / per-partition statistics breakdown —
+// what the engine differential harness (and `dcrm timing --csv`)
+// compares bit-for-bit between the cycle-stepped and event-driven
+// engines.
+struct TimingDetail {
+  sim::GpuStats total;
+  std::vector<sim::GpuStats> per_sm;
+  std::vector<sim::GpuStats> per_partition;
+};
+TimingDetail RunTimingDetailed(const App& app, const ProfileResult& profile,
+                               sim::GpuConfig cfg,
+                               const sim::ProtectionPlan& plan);
+
 }  // namespace dcrm::apps

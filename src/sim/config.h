@@ -21,7 +21,22 @@ namespace dcrm::sim {
 // intra-warp locality; kLrr is loose round-robin.
 enum class SchedPolicy : std::uint8_t { kGto, kLrr };
 
+// Replay engine. kCycleStepped is the reference model: every
+// component ticks every cycle. kEventDriven ticks a component only
+// when its reported next-wakeup cycle is due, skipping idle spans in
+// O(log n) queue operations; it is bit-identical to the reference in
+// cycle counts and statistics (tests/sim_event_test.cc holds it to
+// that) and several times faster on the replay hot path.
+enum class SimEngine : std::uint8_t { kCycleStepped, kEventDriven };
+
+inline const char* EngineName(SimEngine e) {
+  return e == SimEngine::kCycleStepped ? "cycle" : "event";
+}
+
 struct GpuConfig {
+  // Replay engine; both produce bit-identical cycle counts and stats.
+  SimEngine engine = SimEngine::kEventDriven;
+
   // Cores ("SMs").
   std::uint32_t num_sms = 15;
   std::uint32_t max_ctas_per_sm = 8;

@@ -73,6 +73,16 @@ const std::map<std::string, Setter>& Setters() {
            throw std::invalid_argument("expected gto or lrr");
          }
        }},
+      {"engine",
+       [](GpuConfig& c, const std::string& v) {
+         if (v == "cycle") {
+           c.engine = SimEngine::kCycleStepped;
+         } else if (v == "event") {
+           c.engine = SimEngine::kEventDriven;
+         } else {
+           throw std::invalid_argument("expected cycle or event");
+         }
+       }},
       {"collect_block_misses",
        [](GpuConfig& c, const std::string& v) {
          if (v == "true" || v == "1") {
@@ -169,6 +179,7 @@ std::string DumpGpuConfig(const GpuConfig& c) {
 #undef DCRM_EMIT
   os << "sched_policy = "
      << (c.sched_policy == SchedPolicy::kGto ? "gto" : "lrr") << '\n';
+  os << "engine = " << EngineName(c.engine) << '\n';
   os << "collect_block_misses = "
      << (c.collect_block_misses ? "true" : "false") << '\n';
   return os.str();

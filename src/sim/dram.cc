@@ -78,4 +78,18 @@ void DramChannel::Tick(std::uint64_t now, std::vector<MemRequest>& done,
   if (pick_is_row_hit) ++stats.dram_row_hits;
 }
 
+std::uint64_t DramChannel::NextWakeup(std::uint64_t now) const {
+  std::uint64_t t = kNeverCycle;
+  for (const auto& e : queue_) {
+    // Issued entries fire at their transfer completion; unissued ones
+    // become schedulable once their bank is ready.
+    const std::uint64_t when =
+        e.issued ? std::max(e.done_at, now + 1)
+                 : std::max(banks_[map_.Bank(e.req.block)].ready_at, now + 1);
+    if (when < t) t = when;
+    if (t == now + 1) break;  // nothing can be due sooner
+  }
+  return t;
+}
+
 }  // namespace dcrm::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/request.h"
 #include "sim/stats.h"
 
@@ -26,6 +27,12 @@ class DramChannel {
 
   bool Idle() const { return queue_.empty(); }
   std::size_t QueueDepth() const { return queue_.size(); }
+
+  // Earliest cycle > now at which Tick could retire a transfer or
+  // issue a command (kNeverCycle when the queue is empty). May be
+  // conservative — FR-FCFS might pick nothing at the returned cycle —
+  // but is never later than the channel's next state change.
+  std::uint64_t NextWakeup(std::uint64_t now) const;
 
  private:
   struct Bank {

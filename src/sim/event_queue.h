@@ -1,0 +1,166 @@
+// Indexed min-heap of per-component wakeup times driving the
+// event-driven replay engine: each component (SM, memory partition,
+// the CTA dispatcher) owns one fixed slot whose key is the earliest
+// cycle at which its Tick could change state or statistics, and the
+// engine advances simulated time straight to the queue minimum instead
+// of ticking every component on every cycle. Updates and pops are
+// O(log n) in the component count; skipping an idle span is one
+// AdvanceTo call, not O(idle-cycles) work.
+//
+// Two invariants are enforced (throwing std::logic_error), because the
+// engine's bit-identity argument rests on them:
+//   1. No event fires in the past: Update() rejects wakeup times
+//      earlier than the current cycle floor.
+//   2. Idle-skip never overshoots a wakeup: AdvanceTo() rejects any
+//      target beyond the earliest scheduled wakeup (and any move
+//      backwards in time).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace dcrm::sim {
+
+// "No wakeup scheduled": a component with this key never fires.
+inline constexpr std::uint64_t kNeverCycle =
+    std::numeric_limits<std::uint64_t>::max();
+
+class EventQueue {
+ public:
+  // All `n` slots start at kNeverCycle; the time floor starts at
+  // `start` (the cycle the engine is about to run).
+  explicit EventQueue(std::uint32_t n, std::uint64_t start = 0)
+      : time_(n, kNeverCycle), pos_(n), heap_(n), now_(start) {
+    if (n == 0) throw std::invalid_argument("EventQueue needs >= 1 slot");
+    for (std::uint32_t i = 0; i < n; ++i) {
+      heap_[i] = i;
+      pos_[i] = i;
+    }
+  }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(heap_.size()); }
+  std::uint64_t now() const { return now_; }
+  std::uint64_t TimeOf(std::uint32_t id) const { return time_.at(id); }
+
+  // Earliest scheduled wakeup (kNeverCycle if everything is idle) and
+  // the component holding it. Ties break on the lowest id, so the
+  // engine's view of "who is due" is deterministic.
+  std::uint64_t MinTime() const { return time_[heap_[0]]; }
+  std::uint32_t MinId() const { return heap_[0]; }
+
+  // (Re)schedules component `id` at cycle `when`, or parks it with
+  // kNeverCycle. `when` may equal the current floor (a component made
+  // due within the current cycle, e.g. an SM that just received a
+  // CTA), but never precede it: an event in the past can no longer be
+  // simulated, so the contract was already violated.
+  void Update(std::uint32_t id, std::uint64_t when) {
+    if (when < now_ && when != kNeverCycle) {
+      throw std::logic_error("EventQueue: wakeup scheduled in the past");
+    }
+    if (time_.at(id) == when) return;
+    time_[id] = when;
+    SiftUp(pos_[id]);
+    SiftDown(pos_[id]);
+  }
+
+  // Re-keys many slots at once: one Floyd heapify, O(n) total, instead
+  // of per-id sifts that cost O(k log n) with large constants when the
+  // k re-keyed nodes crowd the root (every node sinking past its
+  // still-due siblings). Worth it once k is a noticeable fraction of
+  // n; the caller picks the crossover. Same contract as Update per
+  // entry.
+  void BulkUpdate(const std::vector<std::uint32_t>& ids,
+                  const std::vector<std::uint64_t>& whens) {
+    if (ids.size() != whens.size()) {
+      throw std::logic_error("EventQueue: BulkUpdate size mismatch");
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (whens[i] < now_ && whens[i] != kNeverCycle) {
+        throw std::logic_error("EventQueue: wakeup scheduled in the past");
+      }
+      time_.at(ids[i]) = whens[i];
+    }
+    for (auto i = static_cast<std::uint32_t>(heap_.size() / 2); i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+
+  // Appends every id scheduled exactly at cycle `t` to `out` (heap
+  // order, NOT sorted). Non-mutating: the entries stay keyed at `t`
+  // until the caller re-keys them with Update, which is one short
+  // sift instead of the park-and-reinsert round trip (two full-height
+  // sifts). Only valid for `t` == MinTime(): the due entries then form
+  // a root-closed subtree (every ancestor of a due node is due), so
+  // the walk visits O(due) nodes and can prune anything later.
+  void CollectDue(std::uint64_t t, std::vector<std::uint32_t>& out) const {
+    if (t != MinTime()) {
+      throw std::logic_error("EventQueue: CollectDue off the minimum");
+    }
+    CollectFrom(0, t, out);
+  }
+
+  // Moves the time floor forward to `t` — the idle-span skip. Going
+  // backwards or past the earliest pending wakeup is a bug in the
+  // caller's wakeup bookkeeping, not a legal fast-forward.
+  void AdvanceTo(std::uint64_t t) {
+    if (t < now_) {
+      throw std::logic_error("EventQueue: time moved backwards");
+    }
+    if (t > MinTime()) {
+      throw std::logic_error("EventQueue: advance overshoots a wakeup");
+    }
+    now_ = t;
+  }
+
+ private:
+  // Recursion depth is the heap height, O(log n).
+  void CollectFrom(std::uint32_t i, std::uint64_t t,
+                   std::vector<std::uint32_t>& out) const {
+    if (i >= heap_.size() || time_[heap_[i]] != t) return;
+    out.push_back(heap_[i]);
+    CollectFrom(2 * i + 1, t, out);
+    CollectFrom(2 * i + 2, t, out);
+  }
+
+  bool Less(std::uint32_t a, std::uint32_t b) const {
+    return time_[a] != time_[b] ? time_[a] < time_[b] : a < b;
+  }
+
+  void Swap(std::uint32_t i, std::uint32_t j) {
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i]] = i;
+    pos_[heap_[j]] = j;
+  }
+
+  void SiftUp(std::uint32_t i) {
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (!Less(heap_[i], heap_[parent])) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::uint32_t i) {
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t best = i;
+      const std::uint32_t l = 2 * i + 1;
+      const std::uint32_t r = 2 * i + 2;
+      if (l < n && Less(heap_[l], heap_[best])) best = l;
+      if (r < n && Less(heap_[r], heap_[best])) best = r;
+      if (best == i) break;
+      Swap(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<std::uint64_t> time_;  // key per component id
+  std::vector<std::uint32_t> pos_;   // id -> heap index
+  std::vector<std::uint32_t> heap_;  // heap of ids
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace dcrm::sim

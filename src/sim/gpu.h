@@ -1,6 +1,16 @@
 // Top-level timing simulator: SMs + interconnect + memory partitions,
 // replaying kernel traces to completion. Kernels run back-to-back
 // (caches stay warm across kernels of one application, as on hardware).
+//
+// Two interchangeable replay engines (GpuConfig::engine):
+//   - cycle-stepped (reference): dispatch + tick every component every
+//     cycle, the original loop.
+//   - event-driven: each component reports a conservative next-wakeup
+//     cycle into an EventQueue and only ticks when due; idle spans are
+//     skipped in one O(log n) queue advance. Because a component whose
+//     wakeup has not arrived would tick as a pure no-op (no state or
+//     stat change), the two engines are bit-identical in cycle counts
+//     and all statistics except GpuStats::sim_ticks.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +44,27 @@ class Gpu {
 
   const ProtectionPlan& plan() const { return plan_; }
 
+  // Per-component statistics from the last Run (index = SM id /
+  // partition id; cycles stays zero on the per-component records).
+  // Both engines fill these identically except sim_ticks, which counts
+  // how often the engine ticked that component — every cycle for the
+  // cycle-stepped engine, only due cycles for the event engine.
+  const std::vector<GpuStats>& PerSmStats() const { return sm_stats_; }
+  const std::vector<GpuStats>& PerPartitionStats() const {
+    return part_stats_;
+  }
+
  private:
-  void RunKernel(const trace::KernelView& kernel, GpuStats& stats,
-                 std::uint64_t max_cycles);
+  using CtaList = std::vector<std::vector<trace::WarpSlice>>;
+
+  void RunKernel(const trace::KernelView& kernel, std::uint64_t max_cycles);
+  void RunKernelCycleStepped(const CtaList& ctas,
+                             std::uint32_t warps_per_cta,
+                             std::uint64_t max_cycles);
+  void RunKernelEventDriven(const CtaList& ctas,
+                            std::uint32_t warps_per_cta,
+                            std::uint64_t max_cycles);
+  bool AnyBusy() const;
 
   GpuConfig cfg_;
   ProtectionPlan plan_;
@@ -44,7 +72,10 @@ class Gpu {
   Interconnect icnt_;
   std::vector<std::unique_ptr<SmCore>> sms_;
   std::vector<std::unique_ptr<MemPartition>> partitions_;
+  std::vector<GpuStats> sm_stats_;
+  std::vector<GpuStats> part_stats_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t ticks_ = 0;  // engine rounds (GpuStats::sim_ticks)
 };
 
 }  // namespace dcrm::sim

@@ -6,11 +6,20 @@ Interconnect::Interconnect(const GpuConfig& cfg)
     : cfg_(cfg),
       req_pipes_(cfg.num_partitions),
       resp_pipes_(cfg.num_sms),
-      resp_port_free_(cfg.num_partitions, 0) {}
+      resp_port_free_(cfg.num_partitions, 0),
+      part_touched_(cfg.num_partitions, 0),
+      sm_touched_(cfg.num_sms, 0) {
+  touched_parts_.reserve(cfg.num_partitions);
+  touched_sms_.reserve(cfg.num_sms);
+}
 
 void Interconnect::PushRequest(const MemRequest& req, std::uint64_t now,
                                std::uint32_t partition) {
   req_pipes_[partition].push_back({now + cfg_.icnt_latency, req});
+  if (!part_touched_[partition]) {
+    part_touched_[partition] = 1;
+    touched_parts_.push_back(partition);
+  }
 }
 
 std::optional<MemRequest> Interconnect::PopRequestFor(std::uint32_t partition,
@@ -31,6 +40,10 @@ void Interconnect::PushResponse(const MemRequest& req, std::uint64_t now,
   resp_port_free_[partition] = start + occupancy;
   resp_pipes_[req.sm].push_back(
       {start + occupancy + cfg_.icnt_latency, req});
+  if (!sm_touched_[req.sm]) {
+    sm_touched_[req.sm] = 1;
+    touched_sms_.push_back(req.sm);
+  }
 }
 
 std::optional<MemRequest> Interconnect::PopResponseFor(std::uint32_t sm,
@@ -50,6 +63,13 @@ bool Interconnect::Idle() const {
     if (!p.empty()) return false;
   }
   return true;
+}
+
+void Interconnect::ClearTouched() {
+  for (const std::uint32_t p : touched_parts_) part_touched_[p] = 0;
+  for (const std::uint32_t s : touched_sms_) sm_touched_[s] = 0;
+  touched_parts_.clear();
+  touched_sms_.clear();
 }
 
 }  // namespace dcrm::sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/request.h"
 
 namespace dcrm::sim {
@@ -38,6 +39,32 @@ class Interconnect {
 
   bool Idle() const;
 
+  // Event-engine support. The pipes are FIFO: nothing behind the head
+  // can be popped before it, so the head's ready time is the exact
+  // next-wakeup contribution of the pipe (kNeverCycle when empty).
+  std::uint64_t NextRequestReadyFor(std::uint32_t partition) const {
+    const auto& pipe = req_pipes_[partition];
+    return pipe.empty() ? kNeverCycle : pipe.front().ready;
+  }
+  std::uint64_t NextResponseReadyFor(std::uint32_t sm) const {
+    const auto& pipe = resp_pipes_[sm];
+    return pipe.empty() ? kNeverCycle : pipe.front().ready;
+  }
+
+  // Dirty lists: destinations whose input pipe received at least one
+  // push since the last ClearTouched(). The event engine drains these
+  // each round to find the components whose wakeup may have moved,
+  // without scanning every pipe. Each destination appears at most once
+  // per drain, so the lists stay bounded even if never cleared (the
+  // cycle-stepped engine ignores them).
+  const std::vector<std::uint32_t>& TouchedPartitions() const {
+    return touched_parts_;
+  }
+  const std::vector<std::uint32_t>& TouchedSms() const {
+    return touched_sms_;
+  }
+  void ClearTouched();
+
  private:
   struct Timed {
     std::uint64_t ready = 0;
@@ -48,6 +75,10 @@ class Interconnect {
   std::vector<std::deque<Timed>> req_pipes_;   // per partition
   std::vector<std::deque<Timed>> resp_pipes_;  // per SM
   std::vector<std::uint64_t> resp_port_free_;  // per partition
+  std::vector<std::uint32_t> touched_parts_;
+  std::vector<std::uint32_t> touched_sms_;
+  std::vector<char> part_touched_;  // membership flags for the lists
+  std::vector<char> sm_touched_;
 };
 
 }  // namespace dcrm::sim

@@ -1,5 +1,7 @@
 #include "sim/partition.h"
 
+#include <algorithm>
+
 namespace dcrm::sim {
 
 MemPartition::MemPartition(const GpuConfig& cfg, const AddrMap& map,
@@ -76,6 +78,22 @@ void MemPartition::HandleRequest(const MemRequest& req, std::uint64_t now,
 
 bool MemPartition::Idle() const {
   return dram_.Idle() && mshrs_.empty() && hit_resps_.empty();
+}
+
+std::uint64_t MemPartition::NextWakeup(std::uint64_t now,
+                                       const Interconnect& icnt) const {
+  std::uint64_t t = dram_.NextWakeup(now);
+  if (!hit_resps_.empty()) {
+    t = std::min(t, std::max(hit_resps_.top().ready, now + 1));
+  }
+  // When back-pressure blocks the input, the unblocking event is a
+  // DRAM completion (outstanding MSHRs imply queued DRAM reads), which
+  // the dram_ term above already covers.
+  if (mshrs_.size() < cfg_.l2_mshrs && dram_.CanAccept()) {
+    const std::uint64_t req = icnt.NextRequestReadyFor(id_);
+    if (req != kNeverCycle) t = std::min(t, std::max(req, now + 1));
+  }
+  return t;
 }
 
 }  // namespace dcrm::sim

@@ -3,7 +3,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <queue>
 #include <vector>
 
@@ -23,6 +23,13 @@ class MemPartition {
 
   bool Idle() const;
 
+  // Earliest cycle > now at which Tick could act: a DRAM event, a
+  // ready hit-response, or (only while MSHR and DRAM-queue capacity
+  // permit popping) the head of the inbound request pipe. Conservative
+  // — an early wakeup ticks a partition that then does nothing — but
+  // never later than the partition's next state/stat change.
+  std::uint64_t NextWakeup(std::uint64_t now, const Interconnect& icnt) const;
+
  private:
   void HandleRequest(const MemRequest& req, std::uint64_t now,
                      GpuStats& stats);
@@ -32,7 +39,7 @@ class MemPartition {
   TagArray l2_;
   DramChannel dram_;
   // Read-miss MSHRs: block -> requests waiting for the DRAM fill.
-  std::map<Addr, std::vector<MemRequest>> mshrs_;
+  std::unordered_map<Addr, std::vector<MemRequest>> mshrs_;  // keyed only, never iterated
   // L2 hit responses in flight (ready_cycle ordered).
   struct PendingResp {
     std::uint64_t ready;

@@ -317,6 +317,35 @@ void SmCore::IssueWarps(std::uint64_t now, GpuStats& stats) {
   }
 }
 
+std::uint64_t SmCore::NextWakeup(std::uint64_t now,
+                                 const Interconnect& icnt) const {
+  const std::uint64_t soonest = now + 1;
+  // A non-empty LD/ST queue pins the SM to every cycle: the unit
+  // drains ldst_throughput transactions per cycle and the MSHR /
+  // compare-queue stall counters increment per blocked cycle.
+  if (!ldst_q_.empty()) return soonest;
+  std::uint64_t t = kNeverCycle;
+  if (!compare_done_.empty()) {
+    t = std::min(t, std::max(compare_done_.top(), soonest));
+  }
+  if (!hit_completions_.empty()) {
+    t = std::min(t, std::max(hit_completions_.top().first, soonest));
+  }
+  const std::uint64_t resp = icnt.NextResponseReadyFor(id_);
+  if (resp != kNeverCycle) t = std::min(t, std::max(resp, soonest));
+  if (t == soonest) return t;
+  // Warps that could issue once their ALU gate clears. Queue space is
+  // guaranteed here (the LD/ST queue is empty), so CanIssue at the
+  // returned cycle reduces to the ready_at/MLP conditions below.
+  for (const WarpCtx& w : warps_) {
+    if (w.done || w.next_inst >= w.tr.NumInsts()) continue;
+    if (w.inflight >= cfg_.max_warp_mlp) continue;
+    t = std::min(t, std::max(w.ready_at, soonest));
+    if (t == soonest) break;
+  }
+  return t;
+}
+
 bool SmCore::Busy() const {
   if (!ldst_q_.empty() || !mshrs_.empty() || !replica_mshrs_.empty() ||
       !hit_completions_.empty()) {

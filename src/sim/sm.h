@@ -9,7 +9,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <unordered_map>
 #include <queue>
 #include <vector>
 
@@ -31,6 +31,14 @@ class SmCore {
   void AddCta(const std::vector<trace::WarpSlice>& warps);
 
   void Tick(std::uint64_t now, Interconnect& icnt, GpuStats& stats);
+
+  // Earliest cycle > now at which Tick could change state or stats:
+  // a comparator/L1-hit completion, an arriving response, any queued
+  // LD/ST transaction (the per-cycle drain and stall counters require
+  // a tick every cycle while the queue is non-empty), or a warp
+  // clearing its ALU gate with MLP headroom. Conservative — an early
+  // tick no-ops harmlessly — but never later than the next action.
+  std::uint64_t NextWakeup(std::uint64_t now, const Interconnect& icnt) const;
 
   // True while any resident warp or in-flight structure has work left.
   bool Busy() const;
@@ -96,12 +104,15 @@ class SmCore {
 
   std::deque<Transaction> ldst_q_;
   static constexpr std::size_t kLdstQueueCap = 64;
-  std::map<Addr, Mshr> mshrs_;
+  // Keyed lookups only (never iterated), so the tables are hash maps:
+  // replay spends a measurable slice of its time here and the
+  // simulated behavior cannot depend on element order.
+  std::unordered_map<Addr, Mshr> mshrs_;
   // Replica (copy) requests are tracked in the LD/ST unit's own
   // buffer (Section IV-C allocates dedicated 128B storage for loads
   // awaiting comparison), NOT in the L1 MSHR table — copy traffic
   // must not starve primary misses of MSHRs.
-  std::map<Addr, Mshr> replica_mshrs_;
+  std::unordered_map<Addr, Mshr> replica_mshrs_;
   static constexpr std::size_t kReplicaMshrCap = 64;
 
   // (ready_cycle, warp_slot) completions for L1 hits.

@@ -8,6 +8,11 @@ namespace dcrm::sim {
 
 struct GpuStats {
   std::uint64_t cycles = 0;
+  // Engine rounds executed: equals `cycles` advanced under the
+  // cycle-stepped engine, and the (much smaller) number of event
+  // rounds under the event-driven one. The only field allowed to
+  // differ between engines — everything else is bit-identical.
+  std::uint64_t sim_ticks = 0;
   std::uint64_t warp_insts_issued = 0;
   std::uint64_t mem_insts = 0;
   std::uint64_t transactions = 0;          // primary L1 transactions
@@ -47,6 +52,7 @@ struct GpuStats {
 
   GpuStats& operator+=(const GpuStats& o) {
     cycles += o.cycles;
+    sim_ticks += o.sim_ticks;
     warp_insts_issued += o.warp_insts_issued;
     mem_insts += o.mem_insts;
     transactions += o.transactions;

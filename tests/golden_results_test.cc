@@ -159,6 +159,33 @@ TEST(GoldenResults, TradeoffSdcDropGesummv) {
   EXPECT_LT(prot.sdc, base.sdc);
 }
 
+// Exact fault-free replay cycle counts, every registry app at kTiny
+// under the default GpuConfig. Pinning the raw cycle totals (not just
+// campaign outcomes) means any timing-model change — including an
+// engine that is "almost" cycle-identical — trips this immediately.
+// Both engines must reproduce these numbers bit for bit; the suite
+// runs under the default (event-driven) engine.
+TEST(GoldenResults, ReplayCycleCountsPerApp) {
+  struct Pin {
+    const char* app;
+    std::uint64_t cycles;
+  };
+  const Pin pins[] = {
+      {"C-NN", 38176},          {"P-BICG", 22306},
+      {"P-GESUMMV", 65863},     {"P-MVT", 22234},
+      {"A-Laplacian", 1292},    {"A-Meanfilter", 957},
+      {"A-Sobel", 1464},        {"A-SRAD", 1592},
+      {"P-ATAX", 21917},        {"C-ConvRows", 1258},
+      {"C-Histogram", 15953},   {"C-BlackScholes", 738},
+      {"P-GRAMSCHM", 289130},
+  };
+  ASSERT_EQ(std::size(pins), apps::AllAppNames().size());
+  for (const Pin& p : pins) {
+    Bench b(p.app);
+    EXPECT_EQ(b.profile.timing_baseline.cycles, p.cycles) << p.app;
+  }
+}
+
 // Every golden campaign's outcomes must partition the trial count —
 // guards against a merge path dropping or double-counting a trial.
 TEST(GoldenResults, OutcomesPartitionRuns) {

@@ -172,6 +172,8 @@ int Usage() {
          "<apps|config|profile|timing|campaign|recover|analyze|avf|shard> "
          "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
+         "       --engine=cycle|event (replay engine; bit-identical "
+         "results, event skips idle cycles)\n"
          "       --save=FILE --save-trace=FILE (profile)\n"
          "       --load-trace=FILE (profile, timing, campaign, analyze)\n"
          "       --scheme=none|detect|correct --cover=N (timing, campaign, "
@@ -183,8 +185,8 @@ int Usage() {
          "       --retries=N (recover: sweep budgets 0..N)\n"
          "       --objects=a,b,c (analyze, campaign: explicit cover, may "
          "include writable objects)\n"
-         "       --csv=FILE (analyze: report; campaign, shard: merged "
-         "counts+ledger)\n"
+         "       --csv=FILE (timing: per-component stats; analyze: "
+         "report; campaign, shard: merged counts+ledger)\n"
          "       --allow-unsound (campaign: run despite analyzer "
          "violations)\n"
          "       --importance-sampling (campaign: draw trials from the "
@@ -214,6 +216,12 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (auto v = value("--config=")) {
     args.cfg = sim::LoadGpuConfigFile(*v, args.cfg);
+    return true;
+  }
+  if (auto v = value("--engine=")) {
+    if (*v == "cycle") args.cfg.engine = sim::SimEngine::kCycleStepped;
+    else if (*v == "event") args.cfg.engine = sim::SimEngine::kEventDriven;
+    else return false;
     return true;
   }
   if (auto v = value("--seed=")) {
@@ -452,6 +460,39 @@ int CmdProfile(CliArgs& args) {
   return 0;
 }
 
+// Per-component statistics, one row per component. Engine name and
+// sim_ticks are deliberately omitted so the CSVs of the two engines
+// diff clean when (and only when) they are bit-identical; cycles are
+// global, so they appear on the total row only.
+void WriteTimingCsv(const std::string& path, const apps::TimingDetail& d) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  os << "component,cycles,warp_insts_issued,mem_insts,transactions,"
+        "replica_transactions,l1_accesses,l1_hits,l1_pending_hits,"
+        "l1_misses,l2_accesses,l2_hits,l2_misses,replica_l2_hits,"
+        "replica_l2_misses,dram_reads,dram_writes,dram_row_hits,"
+        "mshr_stalls,compare_queue_stalls,comparisons\n";
+  const auto row = [&os](const std::string& name, const sim::GpuStats& s,
+                         std::uint64_t cycles) {
+    os << name << ',' << cycles << ',' << s.warp_insts_issued << ','
+       << s.mem_insts << ',' << s.transactions << ','
+       << s.replica_transactions << ',' << s.l1_accesses << ',' << s.l1_hits
+       << ',' << s.l1_pending_hits << ',' << s.l1_misses << ','
+       << s.l2_accesses << ',' << s.l2_hits << ',' << s.l2_misses << ','
+       << s.replica_l2_hits << ',' << s.replica_l2_misses << ','
+       << s.dram_reads << ',' << s.dram_writes << ',' << s.dram_row_hits
+       << ',' << s.mshr_stalls << ',' << s.compare_queue_stalls << ','
+       << s.comparisons << '\n';
+  };
+  row("total", d.total, d.total.cycles);
+  for (std::size_t i = 0; i < d.per_sm.size(); ++i) {
+    row("sm" + std::to_string(i), d.per_sm[i], 0);
+  }
+  for (std::size_t i = 0; i < d.per_partition.size(); ++i) {
+    row("partition" + std::to_string(i), d.per_partition[i], 0);
+  }
+}
+
 int CmdTiming(CliArgs& args) {
   auto app = apps::MakeApp(args.app, args.scale);
   const auto profile =
@@ -463,9 +504,13 @@ int CmdTiming(CliArgs& args) {
   const auto base_stats = apps::RunTiming(*app, profile, args.cfg, base.plan);
   const auto setup =
       apps::MakeProtectionSetup(*app, profile, args.scheme, cover);
-  const auto stats = apps::RunTiming(*app, profile, args.cfg, setup.plan);
+  const auto detail =
+      apps::RunTimingDetailed(*app, profile, args.cfg, setup.plan);
+  const auto& stats = detail.total;
+  if (!args.csv_path.empty()) WriteTimingCsv(args.csv_path, detail);
   std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
-            << " cover=" << cover << "\n"
+            << " cover=" << cover
+            << " engine=" << sim::EngineName(args.cfg.engine) << "\n"
             << "cycles " << stats.cycles << " (baseline " << base_stats.cycles
             << ", overhead "
             << 100.0 * (static_cast<double>(stats.cycles) /
