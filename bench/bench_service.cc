@@ -1,0 +1,265 @@
+// Reliability-service bench: what the content-addressed artifact
+// cache and the batched request scheduler buy on a repeat-heavy
+// request mix (DESIGN.md §14).
+//
+// Drives a real in-process `dcrm serve` daemon over its Unix-domain
+// socket with concurrent clients, in two passes over the same mix of
+// campaign / analyze / avf / timing / profile requests:
+//   1. cold — every distinct request once; each one profiles, plans
+//      and (for campaigns) runs trials from scratch.
+//   2. repeat-heavy — several client threads re-issue the same mix
+//      many times; everything should come off the cache fast path.
+//
+// Headline metrics (--json=FILE → BENCH_service.json):
+//   service/hit_rate          cache hit rate across the repeat pass
+//   service/repeat_p50_ms     repeat-pass median request latency
+//   service/repeat_p99_ms     repeat-pass tail latency
+//   service/cold_p50_ms       cold-pass median latency
+//   service/speedup_p50       cold p50 / repeat p50
+//   service/requests_per_sec  repeat-pass served throughput
+//   service/batch_trials_saved  trials the scheduler's coalescing
+//                               avoided across a burst of compatible
+//                               campaign requests
+//
+// Acceptance bars (exit 1 when missed): hit rate >= 0.9 on the repeat
+// pass, and repeat p50 at least 10x below cold p50.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "service/client.h"
+#include "service/proto.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace dcrm;
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+service::RequestSpec MakeReq(service::RequestType type, const std::string& app,
+                             unsigned runs, std::uint64_t seed) {
+  service::RequestSpec req;
+  req.type = type;
+  req.campaign.app = app;
+  req.campaign.scale = apps::AppScale::kTiny;
+  req.campaign.scheme = sim::Scheme::kDetectOnly;
+  req.campaign.runs = runs;
+  req.campaign.seed = seed;
+  return req;
+}
+
+// The distinct request vocabulary of the mix: a spread of campaigns
+// (two of them batch-compatible: same campaign, different trial
+// counts) plus one of every analysis type.
+std::vector<service::RequestSpec> MakeMix(unsigned runs, std::uint64_t seed) {
+  using service::RequestType;
+  return {
+      MakeReq(RequestType::kCampaign, "P-ATAX", runs, seed),
+      MakeReq(RequestType::kCampaign, "P-ATAX", runs / 2, seed),
+      MakeReq(RequestType::kCampaign, "P-BICG", runs, seed),
+      MakeReq(RequestType::kCampaign, "P-MVT", runs, seed + 1),
+      MakeReq(RequestType::kAnalyze, "P-ATAX", runs, seed),
+      MakeReq(RequestType::kAvf, "P-BICG", runs, seed),
+      MakeReq(RequestType::kTiming, "P-ATAX", runs, seed),
+      MakeReq(RequestType::kProfile, "P-GESUMMV", runs, seed),
+  };
+}
+
+struct PassResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t served = 0;
+  std::uint64_t cached = 0;
+  double wall_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcrm;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const unsigned runs = args.runs == 0 ? 48 : args.runs;
+  constexpr int kClients = 4;
+  constexpr int kRepeatRounds = 8;
+
+  bench::PrintHeader("service", "artifact cache + batched scheduler",
+                     args, runs, apps::AppScale::kTiny);
+
+  const std::string socket_path =
+      "/tmp/dcrm_bench_service_" + std::to_string(::getpid()) + ".sock";
+  service::ServerOptions so;
+  so.socket_path = socket_path;
+  so.exec.gpu = bench::MakeGpuConfig(args);
+  service::Server server(std::move(so));
+  server.Start();
+
+  const std::vector<service::RequestSpec> mix = MakeMix(runs, args.seed);
+
+  // Cold pass: one client, every distinct request once.
+  PassResult cold;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto client = service::Client::Connect(socket_path);
+    for (const auto& req : mix) {
+      const auto r0 = std::chrono::steady_clock::now();
+      const service::Response resp = client.Call(req);
+      cold.latencies_ms.push_back(MillisSince(r0));
+      if (!resp.ok) {
+        std::cerr << "bench_service: cold request failed: " << resp.error
+                  << "\n";
+        return 1;
+      }
+      ++cold.served;
+      if (resp.cached) ++cold.cached;
+    }
+    cold.wall_ms = MillisSince(t0);
+  }
+
+  // A burst of batch-compatible campaign requests (same campaign,
+  // ascending trial counts, unseen seed) from concurrent clients: the
+  // scheduler should coalesce them into one merged engine run.
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = service::Client::Connect(socket_path);
+        const auto req =
+            MakeReq(service::RequestType::kCampaign, "P-ATAX",
+                    runs + 8u * static_cast<unsigned>(c + 1), args.seed + 7);
+        const service::Response resp = client.Call(req);
+        if (!resp.ok) {
+          std::cerr << "bench_service: burst request failed: " << resp.error
+                    << "\n";
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Repeat-heavy pass: every client loops the whole mix.
+  PassResult repeat;
+  {
+    std::vector<PassResult> per_client(kClients);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        PassResult& out = per_client[c];
+        auto client = service::Client::Connect(socket_path);
+        for (int round = 0; round < kRepeatRounds; ++round) {
+          for (const auto& req : mix) {
+            const auto r0 = std::chrono::steady_clock::now();
+            const service::Response resp = client.Call(req);
+            out.latencies_ms.push_back(MillisSince(r0));
+            if (!resp.ok) {
+              std::cerr << "bench_service: repeat request failed: "
+                        << resp.error << "\n";
+              continue;
+            }
+            ++out.served;
+            if (resp.cached) ++out.cached;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    repeat.wall_ms = MillisSince(t0);
+    for (const PassResult& pr : per_client) {
+      repeat.served += pr.served;
+      repeat.cached += pr.cached;
+      repeat.latencies_ms.insert(repeat.latencies_ms.end(),
+                                 pr.latencies_ms.begin(),
+                                 pr.latencies_ms.end());
+    }
+  }
+
+  const service::BatchStats batch = server.context().batch_stats();
+  const service::CacheStats cache = server.context().cache().stats();
+  server.RequestStop();
+  server.Join();
+
+  const double hit_rate =
+      repeat.served == 0 ? 0.0
+                         : static_cast<double>(repeat.cached) /
+                               static_cast<double>(repeat.served);
+  const double cold_p50 = Percentile(cold.latencies_ms, 0.5);
+  const double repeat_p50 = Percentile(repeat.latencies_ms, 0.5);
+  const double repeat_p99 = Percentile(repeat.latencies_ms, 0.99);
+  const double speedup = repeat_p50 > 0 ? cold_p50 / repeat_p50 : 0.0;
+  const double rps = repeat.wall_ms > 0
+                         ? 1000.0 * static_cast<double>(repeat.served) /
+                               repeat.wall_ms
+                         : 0.0;
+
+  TextTable table({"pass", "requests", "cached", "p50 ms", "p99 ms",
+                   "wall ms"});
+  table.NewRow()
+      .Add("cold")
+      .Add(cold.served)
+      .Add(cold.cached)
+      .Add(cold_p50)
+      .Add(Percentile(cold.latencies_ms, 0.99))
+      .Add(cold.wall_ms, 1);
+  table.NewRow()
+      .Add("repeat")
+      .Add(repeat.served)
+      .Add(repeat.cached)
+      .Add(repeat_p50)
+      .Add(repeat_p99)
+      .Add(repeat.wall_ms, 1);
+  bench::Emit(table, args);
+  std::cout << "hit rate " << 100.0 * hit_rate << "% (" << repeat.cached
+            << "/" << repeat.served << "), p50 speedup " << speedup
+            << "x, throughput " << rps << " req/s\n"
+            << "cache: " << cache.entries << " entries, " << cache.bytes
+            << " bytes, " << cache.evictions << " evictions\n"
+            << "batching: " << batch.groups << " merged groups, "
+            << batch.grouped_requests << " requests, " << batch.trials_saved
+            << " trials saved\n";
+
+  std::vector<bench::JsonMetric> metrics = {
+      {"service/hit_rate", "repeat-pass cache hit rate", hit_rate, "ratio"},
+      {"service/repeat_p50_ms", "repeat-pass median latency", repeat_p50,
+       "ms"},
+      {"service/repeat_p99_ms", "repeat-pass p99 latency", repeat_p99, "ms"},
+      {"service/cold_p50_ms", "cold-pass median latency", cold_p50, "ms"},
+      {"service/speedup_p50", "cold p50 over repeat p50", speedup, "x"},
+      {"service/requests_per_sec", "repeat-pass throughput", rps, "req/s"},
+      {"service/batch_trials_saved", "trials saved by coalescing",
+       static_cast<double>(batch.trials_saved), "trials"},
+  };
+  bench::EmitJson(args, metrics);
+
+  bool ok = true;
+  if (hit_rate < 0.9) {
+    std::cerr << "FAIL: repeat-pass hit rate " << hit_rate << " < 0.9\n";
+    ok = false;
+  }
+  if (speedup < 10.0) {
+    std::cerr << "FAIL: repeat p50 only " << speedup
+              << "x below cold p50 (need >= 10x)\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -39,6 +39,9 @@ run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small \
 # 10^6 trials (`$B/bench_shard_campaign | tee results_shard_campaign.txt`,
 # ~10 min); the sweep runs a wall-clock-friendly count.
 run $B/bench_shard_campaign --runs=20000
+# Service daemon: repeat-heavy mix over a live socket; exits nonzero
+# below a 90% cache hit rate or a <10x repeat-p50 speedup.
+run_tee results_service.txt $B/bench_service --json=BENCH_service.json
 run $B/bench_micro_components --benchmark_min_time=0.1
 # Crash-tolerance contract: the atomic writers (trace stores, shard
 # results, manifests) must never leave `*.tmp.<pid>` siblings behind,

@@ -1,0 +1,412 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcrm::json {
+
+namespace {
+
+[[noreturn]] void TypeFail(const char* want, Value::Type got) {
+  throw std::runtime_error(std::string("json: expected ") + want +
+                           ", got type " +
+                           std::to_string(static_cast<int>(got)));
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendUtf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  Value Run() {
+    Value v = ParseValue(0);
+    SkipWs();
+    if (pos_ != s_.size()) Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw ParseError("json parse error at byte " + std::to_string(pos_) +
+                     ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= s_.size()) Fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting too deep");
+    SkipWs();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return Value(ParseString());
+      case 't':
+        if (!Consume("true")) Fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!Consume("false")) Fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!Consume("null")) Fail("bad literal");
+        return Value(nullptr);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Value ParseObject(int depth) {
+    Expect('{');
+    Value obj = Value::MakeObject();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      SkipWs();
+      if (Peek() != '"') Fail("expected object key");
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      obj.Set(std::move(key), ParseValue(depth + 1));
+      SkipWs();
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') Fail("expected ',' or '}'");
+    }
+  }
+
+  Value ParseArray(int depth) {
+    Expect('[');
+    Value arr = Value::MakeArray();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.Push(ParseValue(depth + 1));
+      SkipWs();
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) Fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) Fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) Fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          std::uint32_t cp = ParseHex4();
+          if (cp >= 0xd800 && cp < 0xdc00) {
+            // High surrogate: a low surrogate must follow.
+            if (!Consume("\\u")) Fail("unpaired surrogate");
+            const std::uint32_t lo = ParseHex4();
+            if (lo < 0xdc00 || lo > 0xdfff) Fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp < 0xe000) {
+            Fail("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          Fail("bad escape");
+      }
+    }
+  }
+
+  std::uint32_t ParseHex4() {
+    if (pos_ + 4 > s_.size()) Fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("bad hex digit");
+      }
+    }
+    return v;
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) {
+      Fail("bad number");
+    }
+    const std::string_view text = s_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [p, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec == std::errc() && p == text.data() + text.size()) {
+        return Value(v);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    const std::string copy(text);
+    char* end = nullptr;
+    const double d = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) Fail("bad number");
+    return Value(d);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+void DumpTo(const Value& v, std::string& out);
+
+void DumpDouble(double d, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void DumpTo(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      return;
+    case Value::Type::kBool:
+      out += v.AsBool() ? "true" : "false";
+      return;
+    case Value::Type::kInt:
+      out += std::to_string(v.AsInt());
+      return;
+    case Value::Type::kDouble:
+      DumpDouble(v.AsDouble(), out);
+      return;
+    case Value::Type::kString:
+      AppendEscaped(out, v.AsString());
+      return;
+    case Value::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& e : v.AsArray()) {
+        if (!first) out.push_back(',');
+        first = false;
+        DumpTo(e, out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Value::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, val] : v.AsObject()) {
+        if (!first) out.push_back(',');
+        first = false;
+        AppendEscaped(out, key);
+        out.push_back(':');
+        DumpTo(val, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool Value::AsBool() const {
+  if (!IsBool()) TypeFail("bool", type());
+  return std::get<bool>(v_);
+}
+
+std::int64_t Value::AsInt() const {
+  if (!IsInt()) TypeFail("integer", type());
+  return std::get<std::int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  if (IsInt()) return static_cast<double>(std::get<std::int64_t>(v_));
+  if (!IsDouble()) TypeFail("number", type());
+  return std::get<double>(v_);
+}
+
+const std::string& Value::AsString() const {
+  if (!IsString()) TypeFail("string", type());
+  return std::get<std::string>(v_);
+}
+
+const Array& Value::AsArray() const {
+  if (!IsArray()) TypeFail("array", type());
+  return std::get<Array>(v_);
+}
+
+const Object& Value::AsObject() const {
+  if (!IsObject()) TypeFail("object", type());
+  return std::get<Object>(v_);
+}
+
+Value& Value::Set(std::string key, Value v) {
+  if (!IsObject()) TypeFail("object", type());
+  std::get<Object>(v_).emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::Push(Value v) {
+  if (!IsArray()) TypeFail("array", type());
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+Value Value::Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace dcrm::json

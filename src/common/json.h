@@ -1,0 +1,108 @@
+// Minimal JSON value / parser / serializer for the service protocol
+// (src/service): enough of RFC 8259 for small flat request/response
+// maps, with the properties the wire format needs and a general
+// library would not guarantee:
+//
+//  * objects keep insertion order, so Dump() of the same message is
+//    byte-deterministic (cache keys and tests can compare encodings);
+//  * integers that fit int64 stay integers end to end — no silent
+//    double round-trip of seeds or counters;
+//  * the parser is depth-limited and every malformed input throws
+//    ParseError with a byte offset, never UB — it runs on bytes
+//    received from untrusted clients.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dcrm::json {
+
+class Value;
+using Array = std::vector<Value>;
+// Insertion-ordered key/value pairs (no dedup; Set appends).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : v_(b) {}
+  Value(int v) : v_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned v) : v_(static_cast<std::int64_t>(v)) {}
+  Value(std::int64_t v) : v_(v) {}
+  Value(double v) : v_(v) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+
+  static Value MakeArray() {
+    Value v;
+    v.v_ = Array{};
+    return v;
+  }
+  static Value MakeObject() {
+    Value v;
+    v.v_ = Object{};
+    return v;
+  }
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool IsNull() const { return type() == Type::kNull; }
+  bool IsBool() const { return type() == Type::kBool; }
+  bool IsInt() const { return type() == Type::kInt; }
+  bool IsDouble() const { return type() == Type::kDouble; }
+  bool IsNumber() const { return IsInt() || IsDouble(); }
+  bool IsString() const { return type() == Type::kString; }
+  bool IsArray() const { return type() == Type::kArray; }
+  bool IsObject() const { return type() == Type::kObject; }
+
+  // Typed accessors throw std::runtime_error on a type mismatch — the
+  // decode layer turns that into a malformed-request error.
+  bool AsBool() const;
+  std::int64_t AsInt() const;  // accepts kInt only
+  double AsDouble() const;     // accepts kInt or kDouble
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  // Object helpers. Set appends (keys are expected unique by
+  // construction); Find returns null on a missing key or non-object.
+  Value& Set(std::string key, Value v);
+  const Value* Find(std::string_view key) const;
+  // Array append.
+  void Push(Value v);
+
+  // Compact serialization (no whitespace), deterministic for a given
+  // construction order.
+  std::string Dump() const;
+
+  // Throws ParseError on malformed input, depth > 64, or trailing
+  // garbage.
+  static Value Parse(std::string_view text);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace dcrm::json

@@ -1,0 +1,232 @@
+#include "common/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dcrm::net {
+
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+sockaddr_un MakeAddr(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("socket path empty or too long (max " +
+                      std::to_string(sizeof(addr.sun_path) - 1) +
+                      " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+UnixSocket MakeSocket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw SocketError("socket(): " + ErrnoText());
+  return UnixSocket(fd);
+}
+
+}  // namespace
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+UnixSocket::~UnixSocket() { Close(); }
+
+void UnixSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixSocket ListenUnix(const std::string& path, int backlog) {
+  const sockaddr_un addr = MakeAddr(path);
+  UnixSocket s = MakeSocket();
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  const auto* ap = reinterpret_cast<const sockaddr*>(&addr);
+  if (::bind(s.fd(), ap, sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      throw SocketError("bind(" + path + "): " + ErrnoText());
+    }
+    // Distinguish a live daemon from a stale socket file: probe with a
+    // connect. Refused/unanswered means the previous owner is gone —
+    // unlink and rebind.
+    bool live = true;
+    try {
+      ConnectUnix(path);
+    } catch (const SocketError&) {
+      live = false;
+    }
+    if (live) {
+      throw SocketError("bind(" + path +
+                        "): address in use (another daemon is listening)");
+    }
+    ::unlink(path.c_str());
+    if (::bind(s.fd(), ap, sizeof(addr)) != 0) {
+      throw SocketError("bind(" + path + "): " + ErrnoText());
+    }
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    const std::string err = ErrnoText();
+    ::unlink(path.c_str());
+    throw SocketError("listen(" + path + "): " + err);
+  }
+  return s;
+}
+
+std::optional<UnixSocket> AcceptUnix(const UnixSocket& listener,
+                                     int timeout_ms) {
+  pollfd p = {};
+  p.fd = listener.fd();
+  p.events = POLLIN;
+  const int pr = ::poll(&p, 1, timeout_ms);
+  if (pr < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw SocketError("poll(listener): " + ErrnoText());
+  }
+  if (pr == 0) return std::nullopt;
+  const int fd = ::accept4(listener.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return std::nullopt;
+    }
+    throw SocketError("accept(): " + ErrnoText());
+  }
+  return UnixSocket(fd);
+}
+
+UnixSocket ConnectUnix(const std::string& path) {
+  const sockaddr_un addr = MakeAddr(path);
+  UnixSocket s = MakeSocket();
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast)
+  const auto* ap = reinterpret_cast<const sockaddr*>(&addr);
+  if (::connect(s.fd(), ap, sizeof(addr)) != 0) {
+    throw SocketError("connect(" + path + "): " + ErrnoText());
+  }
+  return s;
+}
+
+void WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > UINT32_MAX) {
+    throw SocketError("frame payload exceeds u32 length prefix");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char hdr[4];
+  for (int i = 0; i < 4; ++i) {
+    hdr[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  const auto send_all = [fd](const char* data, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw SocketError("send(): " + ErrnoText());
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  send_all(hdr, sizeof(hdr));
+  send_all(payload.data(), payload.size());
+}
+
+std::optional<std::string> ReadFrame(int fd, std::uint32_t max_bytes,
+                                     const std::atomic<bool>* stop,
+                                     int poll_interval_ms) {
+  // 1 = filled, 0 = clean EOF before the first byte, -1 = stopped.
+  const auto pump = [&](char* dst, std::size_t need,
+                        bool eof_ok_at_start) -> int {
+    std::size_t off = 0;
+    while (off < need) {
+      pollfd p = {};
+      p.fd = fd;
+      p.events = POLLIN;
+      const int pr = ::poll(&p, 1, poll_interval_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        throw SocketError("poll(): " + ErrnoText());
+      }
+      if (pr == 0) {
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+          return -1;
+        }
+        continue;
+      }
+      const ssize_t r = ::recv(fd, dst + off, need - off, 0);
+      if (r == 0) {
+        if (off == 0 && eof_ok_at_start) return 0;
+        throw SocketError("peer closed mid-frame");
+      }
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw SocketError("recv(): " + ErrnoText());
+      }
+      off += static_cast<std::size_t>(r);
+    }
+    return 1;
+  };
+
+  char hdr[4];
+  if (pump(hdr, sizeof(hdr), /*eof_ok_at_start=*/true) <= 0) {
+    return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[i]))
+           << (8 * i);
+  }
+  if (len > max_bytes) throw FrameTooLarge(len, max_bytes);
+  std::string body(len, '\0');
+  if (len > 0 && pump(body.data(), len, /*eof_ok_at_start=*/false) <= 0) {
+    return std::nullopt;
+  }
+  return body;
+}
+
+bool DiscardBytes(int fd, std::uint64_t count, const std::atomic<bool>* stop,
+                  int poll_interval_ms) {
+  char sink[4096];
+  std::uint64_t left = count;
+  while (left > 0) {
+    pollfd p = {};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, poll_interval_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        return false;
+      }
+      continue;
+    }
+    const std::size_t want =
+        left < sizeof(sink) ? static_cast<std::size_t>(left) : sizeof(sink);
+    const ssize_t r = ::recv(fd, sink, want, 0);
+    if (r == 0) return false;  // peer closed early
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    left -= static_cast<std::uint64_t>(r);
+  }
+  return true;
+}
+
+}  // namespace dcrm::net

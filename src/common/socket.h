@@ -1,0 +1,98 @@
+// Unix-domain stream sockets with length-prefixed framing — the
+// transport under the reliability service (src/service, DESIGN.md
+// §14).
+//
+// Frame format: u32 little-endian payload length, then that many
+// payload bytes. The reader enforces a caller-supplied frame cap
+// before allocating (FrameTooLarge on an oversized announcement — the
+// stream cannot be resynchronized afterwards, so the connection must
+// be dropped) and polls with a stop flag so a draining daemon's
+// connection threads unblock without extra signalling machinery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dcrm::net {
+
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The peer announced a frame larger than the cap. Fatal for the
+// connection: the oversized payload was not consumed.
+class FrameTooLarge : public SocketError {
+ public:
+  FrameTooLarge(std::uint64_t announced, std::uint64_t cap)
+      : SocketError("frame of " + std::to_string(announced) +
+                    " bytes exceeds the " + std::to_string(cap) +
+                    "-byte cap"),
+        announced_(announced) {}
+  std::uint64_t announced() const { return announced_; }
+
+ private:
+  std::uint64_t announced_;
+};
+
+// RAII fd owner; move-only.
+class UnixSocket {
+ public:
+  UnixSocket() = default;
+  explicit UnixSocket(int fd) : fd_(fd) {}
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+  UnixSocket(UnixSocket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  UnixSocket& operator=(UnixSocket&& o) noexcept;
+  ~UnixSocket();
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on `path`. A stale socket file left by a crashed
+// daemon is detected (nothing accepts a probe connection) and
+// unlinked; a live daemon on the same path is a bind failure. Throws
+// SocketError on any failure — `dcrm serve` maps it to exit 10.
+UnixSocket ListenUnix(const std::string& path, int backlog = 64);
+
+// Accepts one connection, waiting at most `timeout_ms`; nullopt on
+// timeout (callers loop, checking their stop flag between calls).
+std::optional<UnixSocket> AcceptUnix(const UnixSocket& listener,
+                                     int timeout_ms);
+
+// Throws SocketError when nothing listens on `path` — `dcrm request`
+// maps it to exit 11.
+UnixSocket ConnectUnix(const std::string& path);
+
+// Writes one length-prefixed frame. Throws SocketError on a broken
+// peer (EPIPE is an exception here, never a signal).
+void WriteFrame(int fd, std::string_view payload);
+
+// Reads one frame. Returns nullopt on a clean close before any byte of
+// a frame, or when `stop` turns true while waiting (including
+// mid-frame: a draining server abandons half-read requests). Throws
+// FrameTooLarge / SocketError otherwise.
+std::optional<std::string> ReadFrame(int fd, std::uint32_t max_bytes,
+                                     const std::atomic<bool>* stop = nullptr,
+                                     int poll_interval_ms = 100);
+
+// Reads and discards exactly `count` bytes (the unconsumed payload of
+// a FrameTooLarge rejection). Closing with unread bytes in the receive
+// buffer resets the connection and can destroy an in-flight response;
+// draining first lets the rejection frame arrive and the close be a
+// clean EOF. Returns false when the peer closed or `stop` turned true
+// before `count` bytes arrived.
+bool DiscardBytes(int fd, std::uint64_t count,
+                  const std::atomic<bool>* stop = nullptr,
+                  int poll_interval_ms = 100);
+
+}  // namespace dcrm::net

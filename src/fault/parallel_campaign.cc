@@ -131,6 +131,67 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
   return counts;
 }
 
+std::vector<PrefixCounts> RunCampaignPrefixes(
+    std::span<FaultCampaign* const> workers, core::EscalationLedger& ledger,
+    ThreadPool* pool, const CampaignConfig& cfg,
+    std::span<const unsigned> ends, const EngineOptions& opts) {
+  if (ends.empty()) {
+    throw std::invalid_argument("campaign prefixes need at least one end");
+  }
+  unsigned prev = 0;
+  for (const unsigned e : ends) {
+    if (e <= prev) {
+      throw std::invalid_argument(
+          "campaign prefix ends must be strictly ascending and nonzero");
+    }
+    prev = e;
+  }
+  if (ends.back() > cfg.runs) {
+    throw std::invalid_argument("campaign prefix end exceeds cfg.runs");
+  }
+  const bool cross_trial = cfg.recovery.enabled && cfg.recovery.escalate;
+  if (cross_trial) {
+    const unsigned epoch = cfg.escalation_epoch;
+    for (std::size_t i = 0; i + 1 < ends.size(); ++i) {
+      if (epoch == 0 || ends[i] % epoch != 0) {
+        throw std::invalid_argument(
+            "coupled campaign prefix boundaries must be "
+            "escalation-epoch-aligned");
+      }
+    }
+  }
+
+  std::vector<PrefixCounts> out;
+  out.reserve(ends.size());
+  CampaignCounts acc;
+  unsigned begin = 0;
+  for (const unsigned end : ends) {
+    EngineOptions seg = opts;
+    seg.begin = begin;
+    seg.end = end;
+    acc += RunCampaignTrials(workers, ledger, pool, cfg, seg);
+    PrefixCounts p;
+    p.end = end;
+    p.counts = acc;
+    p.ledger = ledger;  // snapshot: the state a cfg.runs==end run ends with
+    out.push_back(std::move(p));
+    begin = end;
+    // A stop request drains the current segment at a wave boundary;
+    // later prefixes would start mid-range relative to what actually
+    // ran, so repeat the partial totals instead of fabricating them.
+    if (opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed) &&
+        acc.runs < end) {
+      while (out.size() < ends.size()) {
+        PrefixCounts tail = out.back();
+        tail.end = ends[out.size()];
+        out.push_back(std::move(tail));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
 ParallelCampaign::ParallelCampaign(CampaignSpec spec, unsigned jobs) {
   if (!spec.make_app || spec.profile == nullptr) {
     throw std::invalid_argument(
@@ -152,7 +213,7 @@ ParallelCampaign::ParallelCampaign(CampaignSpec spec, unsigned jobs) {
     // sampling weights) instead of rebuilding them N times.
     const bool allow_unsound = w == 0 ? spec.allow_unsound : true;
     const std::shared_ptr<const CampaignTables> shared =
-        w == 0 ? nullptr : instances_.front().campaign->tables();
+        w == 0 ? spec.shared_tables : instances_.front().campaign->tables();
     if (!spec.object_names.empty()) {
       inst.campaign = std::make_unique<FaultCampaign>(
           *inst.app, *spec.profile, spec.scheme, spec.object_names, spec.ecc,
@@ -178,6 +239,12 @@ CampaignCounts ParallelCampaign::Run(const CampaignConfig& cfg) {
 CampaignCounts ParallelCampaign::Run(const CampaignConfig& cfg,
                                      const EngineOptions& opts) {
   return RunCampaignTrials(workers_, ledger_, pool_.get(), cfg, opts);
+}
+
+std::vector<PrefixCounts> ParallelCampaign::RunPrefixes(
+    const CampaignConfig& cfg, std::span<const unsigned> ends,
+    const EngineOptions& opts) {
+  return RunCampaignPrefixes(workers_, ledger_, pool_.get(), cfg, ends, opts);
 }
 
 void ParallelCampaign::ReplayEscalations(

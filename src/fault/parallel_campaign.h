@@ -75,6 +75,38 @@ CampaignCounts RunCampaignTrials(std::span<FaultCampaign* const> workers,
                                  ThreadPool* pool, const CampaignConfig& cfg,
                                  const EngineOptions& opts);
 
+// One prefix of a batched campaign: the totals and the ledger state
+// after trials [0, end) — exactly what a standalone run with
+// cfg.runs = end would have produced.
+struct PrefixCounts {
+  unsigned end = 0;  // the prefix boundary this snapshot belongs to
+  CampaignCounts counts;
+  core::EscalationLedger ledger;
+};
+
+// Batched-request execution (the service's coalescing primitive): runs
+// trials [0, ends.back()) ONCE as successive range calls and snapshots
+// the accumulated counts + ledger at every boundary in `ends`. Because
+// trial results are a pure function of (config, seed, trial index) and
+// range calls merge bit-identically to one whole-range call (the
+// EngineOptions contract above), prefix i is bit-identical to a
+// standalone run with cfg.runs = ends[i] — so N coalesced requests
+// cost ends.back() trials instead of sum(ends).
+//
+// `ends` must be strictly ascending, nonzero, with ends.back() <=
+// cfg.runs. Campaigns with cross-trial Tier-2 coupling additionally
+// require every non-final boundary to be escalation-epoch-aligned: a
+// mid-epoch range start applies pending escalations early, diverging
+// from the single-run schedule (the scheduler never batches coupled
+// campaigns, but the engine enforces it regardless). opts.begin/end
+// are overridden per segment. If opts.stop drains a segment early,
+// the remaining prefixes repeat the partial totals (counts.runs <
+// end marks them incomplete).
+std::vector<PrefixCounts> RunCampaignPrefixes(
+    std::span<FaultCampaign* const> workers, core::EscalationLedger& ledger,
+    ThreadPool* pool, const CampaignConfig& cfg,
+    std::span<const unsigned> ends, const EngineOptions& opts);
+
 // Everything one worker needs to build its private campaign instance.
 // `make_app` must return a fresh App each call (apps deterministically
 // initialize their objects, so every worker sees an identical address
@@ -90,6 +122,12 @@ struct CampaignSpec {
   mem::EccMode ecc = mem::EccMode::kNone;
   core::ReplicaPlacement placement = core::ReplicaPlacement::kDefault;
   bool allow_unsound = false;
+  // When set, worker 0 adopts these immutable tables instead of
+  // rebuilding them (the service's content-addressed table cache).
+  // The analyzer launch gate still runs on worker 0 regardless — table
+  // reuse is a pure construction-cost optimization, never a soundness
+  // shortcut.
+  std::shared_ptr<const CampaignTables> shared_tables;
 };
 
 // N-worker front end over RunCampaignTrials. Construction builds the
@@ -109,6 +147,12 @@ class ParallelCampaign {
 
   CampaignCounts Run(const CampaignConfig& cfg);
   CampaignCounts Run(const CampaignConfig& cfg, const EngineOptions& opts);
+
+  // See RunCampaignPrefixes. The persistent ledger makes this suitable
+  // only for a fresh instance (the service constructs one per batch).
+  std::vector<PrefixCounts> RunPrefixes(const CampaignConfig& cfg,
+                                        std::span<const unsigned> ends,
+                                        const EngineOptions& opts);
 
   // Shard-worker catch-up: re-applies the escalation history of epochs
   // this process never ran. Each delta is one earlier epoch's offense

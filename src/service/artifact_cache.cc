@@ -1,0 +1,38 @@
+#include "service/artifact_cache.h"
+
+#include <utility>
+
+namespace dcrm::service {
+
+void ArtifactCache::PutErased(const std::string& key,
+                              std::shared_ptr<const void> value,
+                              std::type_index type, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place: identical content under content addressing, so
+    // only the recency and the size estimate can change.
+    stats_.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->type = type;
+    it->second->bytes = bytes;
+    stats_.bytes += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value), type, bytes});
+    index_[key] = lru_.begin();
+    stats_.bytes += bytes;
+    ++stats_.insertions;
+  }
+  while (stats_.bytes > budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  stats_.budget = budget_;
+}
+
+}  // namespace dcrm::service

@@ -1,0 +1,102 @@
+// Content-addressed artifact cache (DESIGN.md §14). The daemon's
+// repeat-request fast path: every expensive intermediate — loaded
+// TraceStores, profiled apps, worker-0 CampaignTables, rendered
+// analyzer/AVF verdicts, finished campaign results — is keyed by what
+// it *is*, not when it was computed, reusing PR 6's identity scheme
+// (CampaignFingerprint / trace tail checksums), so two requests that
+// would run the same computation share one cache line by construction.
+//
+// Eviction is byte-budgeted LRU over caller-supplied size estimates.
+// Values are type-erased shared_ptr<const T>: readers keep an artifact
+// alive after eviction, so eviction can never invalidate an in-flight
+// request. A single entry larger than the whole budget is admitted
+// alone (callers should not have to special-case huge traces); it is
+// evicted as soon as the next insert lands.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+namespace dcrm::service {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  // current
+  std::uint64_t bytes = 0;    // current estimated total
+  std::uint64_t budget = 0;
+
+  double HitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(std::uint64_t budget_bytes)
+      : budget_(budget_bytes) {}
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  // Returns the cached artifact and bumps it to most-recent, or null.
+  // A key held under a different T is a miss (cannot happen with the
+  // disjoint key prefixes the handlers use; the type check is the
+  // type-erasure safety net, not a feature).
+  template <typename T>
+  std::shared_ptr<const T> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end() || it->second->type != std::type_index(typeid(T))) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return std::static_pointer_cast<const T>(it->second->value);
+  }
+
+  // Inserts (or refreshes) `key` at most-recent with the given size
+  // estimate, then evicts from least-recent until back under budget —
+  // never the entry just inserted.
+  template <typename T>
+  void Put(const std::string& key, std::shared_ptr<const T> value,
+           std::uint64_t bytes) {
+    PutErased(key, std::static_pointer_cast<const void>(std::move(value)),
+              std::type_index(typeid(T)), bytes);
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::uint64_t budget() const { return budget_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const void> value;
+    std::type_index type;
+    std::uint64_t bytes = 0;
+  };
+
+  void PutErased(const std::string& key, std::shared_ptr<const void> value,
+                 std::type_index type, std::uint64_t bytes);
+
+  const std::uint64_t budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace dcrm::service

@@ -1,0 +1,21 @@
+#include "service/client.h"
+
+#include <utility>
+
+namespace dcrm::service {
+
+Client Client::Connect(const std::string& socket_path) {
+  return Client(net::ConnectUnix(socket_path));
+}
+
+Response Client::Call(const RequestSpec& req) {
+  net::WriteFrame(sock_.fd(), EncodeRequest(req));
+  std::optional<std::string> frame =
+      net::ReadFrame(sock_.fd(), kMaxResponseBytes);
+  if (!frame.has_value()) {
+    throw net::SocketError("server closed the connection without answering");
+  }
+  return DecodeResponse(*frame);
+}
+
+}  // namespace dcrm::service

@@ -1,0 +1,30 @@
+// Client side of the service protocol: one connection, synchronous
+// request/response calls (`dcrm request`, tests, the bench's request
+// drivers).
+#pragma once
+
+#include <string>
+
+#include "common/socket.h"
+#include "service/proto.h"
+
+namespace dcrm::service {
+
+class Client {
+ public:
+  // Throws net::SocketError when nothing listens on `socket_path` —
+  // `dcrm request` maps it to exit 11.
+  static Client Connect(const std::string& socket_path);
+
+  // Sends one request and blocks for its response. Throws
+  // net::SocketError on a dropped connection, ProtoError on an
+  // undecodable response.
+  Response Call(const RequestSpec& req);
+
+ private:
+  explicit Client(net::UnixSocket sock) : sock_(std::move(sock)) {}
+
+  net::UnixSocket sock_;
+};
+
+}  // namespace dcrm::service

@@ -1,0 +1,108 @@
+// Request execution for the reliability daemon (DESIGN.md §14).
+//
+// ExecContext owns the content-addressed ArtifactCache and knows how
+// to run every request type exactly the way the standalone CLI does —
+// same driver calls, same cover resolution, same rendering (via
+// service/render.h), so a served response is bit-identical to the
+// standalone command's stdout/CSV.
+//
+// Two layers of reuse:
+//  * TryCached is the connection-thread fast path: a pure cache probe
+//    (trace identity via the O(1) checksum-tail probe, campaign
+//    identity via PR 6's CampaignFingerprint) that never executes
+//    anything and never throws.
+//  * ExecuteCampaignBatch is the scheduler's coalescing primitive:
+//    requests for the SAME campaign fingerprint (modulo trial count)
+//    run as ONE engine invocation over the longest requested trial
+//    range, split back per request through RunCampaignPrefixes —
+//    bit-identical to each request running standalone, at the cost of
+//    max(runs) trials instead of sum(runs).
+//
+// Threading contract: TryCached / BatchKey / stats accessors are safe
+// from any thread (the cache has its own lock); Execute and
+// ExecuteCampaignBatch must run on a single executor thread (the
+// RequestScheduler's), because cached profile artifacts hold live App
+// instances that the driver mutates during runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/artifact_cache.h"
+#include "service/proto.h"
+
+namespace dcrm::service {
+
+// One served request: the standalone command's exit code, stdout text
+// and --csv artifact, plus the service-path markers.
+struct ServedResult {
+  bool ok = true;
+  std::string error;  // set when !ok (what the CLI printed to stderr)
+  int exit_code = 0;
+  bool cached = false;   // served from the artifact cache
+  bool batched = false;  // coalesced into a merged campaign run
+  std::string text;
+  std::string csv;
+};
+
+struct ExecOptions {
+  std::uint64_t cache_bytes = 256ull * 1024 * 1024;
+  sim::GpuConfig gpu;  // daemon-wide base config
+  // In-process campaign lanes. Results are bit-identical at any value;
+  // it only shows in the summary's "jobs=" field, so keep the default
+  // 1 to match plain `dcrm campaign`.
+  unsigned jobs = 1;
+};
+
+// Coalescing counters (the bench's merge-efficiency numbers).
+struct BatchStats {
+  std::uint64_t groups = 0;            // merged groups executed
+  std::uint64_t grouped_requests = 0;  // requests served via a merge
+  std::uint64_t trials_saved = 0;      // sum(runs) - max(runs), summed
+};
+
+class ExecContext {
+ public:
+  explicit ExecContext(ExecOptions opts);
+
+  // Scheduler grouping key: equal nonzero keys may coalesce into one
+  // ExecuteCampaignBatch call. Zero = not batchable (non-campaign
+  // types; coupled Tier-2 campaigns, whose cross-trial ledger coupling
+  // forbids prefix splitting; unreadable trace artifacts). Built from
+  // CampaignFingerprint with the trial count zeroed out — requests
+  // differing only in `runs` share a key — plus the
+  // importance-sampling flag, which the fingerprint predates.
+  std::uint64_t BatchKey(const RequestSpec& req) const;
+
+  // Cache-only fast path; never executes, never throws. nullopt on a
+  // miss or any probe failure (the slow path will surface the error).
+  std::optional<ServedResult> TryCached(const RequestSpec& req);
+
+  // Runs one request end to end (campaigns go through a singleton
+  // batch). Never throws: failures come back as ok=false results with
+  // the CLI's exit-code mapping.
+  ServedResult Execute(const RequestSpec& req);
+
+  // Runs a group of campaign requests with identical BatchKey as one
+  // merged engine invocation. Results are positionally matched to
+  // `reqs` and marked batched when the group actually merged (>1
+  // uncached member).
+  std::vector<ServedResult> ExecuteCampaignBatch(
+      std::span<const RequestSpec> reqs);
+
+  ArtifactCache& cache() { return cache_; }
+  BatchStats batch_stats() const;
+
+ private:
+  ExecOptions opts_;
+  ArtifactCache cache_;
+  std::atomic<std::uint64_t> groups_{0};
+  std::atomic<std::uint64_t> grouped_requests_{0};
+  std::atomic<std::uint64_t> trials_saved_{0};
+};
+
+}  // namespace dcrm::service

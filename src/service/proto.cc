@@ -1,0 +1,261 @@
+#include "service/proto.h"
+
+#include <limits>
+
+#include "common/json.h"
+
+namespace dcrm::service {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) { throw ProtoError(what); }
+
+// Bounds on untrusted numerics: generous for real use, tight enough
+// that a hostile request cannot make the daemon allocate or loop
+// absurdly.
+constexpr std::int64_t kMaxRuns = 100'000'000;
+constexpr std::int64_t kMaxSmallCount = 1'000'000;
+constexpr std::size_t kMaxNameBytes = 256;
+constexpr std::size_t kMaxPathBytes = 4096;
+constexpr std::size_t kMaxObjects = 256;
+
+RequestType ParseType(const std::string& s) {
+  const std::optional<RequestType> t = RequestTypeFromName(s);
+  if (!t.has_value()) Fail("unknown request type: " + s);
+  return *t;
+}
+
+apps::AppScale ParseScale(const std::string& s) {
+  if (s == "tiny") return apps::AppScale::kTiny;
+  if (s == "small") return apps::AppScale::kSmall;
+  if (s == "medium") return apps::AppScale::kMedium;
+  Fail("unknown scale: " + s);
+}
+
+sim::Scheme ParseScheme(const std::string& s) {
+  if (s == "none") return sim::Scheme::kNone;
+  if (s == "detect") return sim::Scheme::kDetectOnly;
+  if (s == "correct") return sim::Scheme::kDetectCorrect;
+  Fail("unknown scheme: " + s);
+}
+
+fault::Target ParseTarget(const std::string& s) {
+  if (s == "hot") return fault::Target::kHotBlocks;
+  if (s == "rest") return fault::Target::kRestBlocks;
+  if (s == "miss") return fault::Target::kMissWeighted;
+  Fail("unknown target: " + s);
+}
+
+sim::SimEngine ParseEngine(const std::string& s) {
+  if (s == "cycle") return sim::SimEngine::kCycleStepped;
+  if (s == "event") return sim::SimEngine::kEventDriven;
+  Fail("unknown engine: " + s);
+}
+
+const std::string& Str(const json::Value& v, const char* key,
+                       std::size_t max_bytes) {
+  if (!v.IsString()) Fail(std::string(key) + " must be a string");
+  const std::string& s = v.AsString();
+  if (s.empty() || s.size() > max_bytes) {
+    Fail(std::string(key) + " length out of range");
+  }
+  return s;
+}
+
+std::int64_t Int(const json::Value& v, const char* key, std::int64_t lo,
+                 std::int64_t hi) {
+  if (!v.IsInt()) Fail(std::string(key) + " must be an integer");
+  const std::int64_t n = v.AsInt();
+  if (n < lo || n > hi) Fail(std::string(key) + " out of range");
+  return n;
+}
+
+bool Bool(const json::Value& v, const char* key) {
+  if (!v.IsBool()) Fail(std::string(key) + " must be a boolean");
+  return v.AsBool();
+}
+
+}  // namespace
+
+std::optional<RequestType> RequestTypeFromName(const std::string& name) {
+  if (name == "profile") return RequestType::kProfile;
+  if (name == "timing") return RequestType::kTiming;
+  if (name == "analyze") return RequestType::kAnalyze;
+  if (name == "avf") return RequestType::kAvf;
+  if (name == "campaign") return RequestType::kCampaign;
+  if (name == "stats") return RequestType::kStats;
+  if (name == "shutdown") return RequestType::kShutdown;
+  return std::nullopt;
+}
+
+const char* RequestTypeName(RequestType t) {
+  switch (t) {
+    case RequestType::kProfile: return "profile";
+    case RequestType::kTiming: return "timing";
+    case RequestType::kAnalyze: return "analyze";
+    case RequestType::kAvf: return "avf";
+    case RequestType::kCampaign: return "campaign";
+    case RequestType::kStats: return "stats";
+    case RequestType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string EncodeRequest(const RequestSpec& req) {
+  const fault::ShardCampaignSpec& c = req.campaign;
+  json::Value o = json::Value::MakeObject();
+  o.Set("type", RequestTypeName(req.type));
+  if (req.type == RequestType::kStats || req.type == RequestType::kShutdown) {
+    return o.Dump();
+  }
+  o.Set("app", c.app);
+  o.Set("scale", fault::ScaleFlagName(c.scale));
+  o.Set("scheme", fault::SchemeFlagName(c.scheme));
+  if (c.cover.has_value()) o.Set("cover", *c.cover);
+  if (!c.objects.empty()) {
+    json::Value a = json::Value::MakeArray();
+    for (const std::string& name : c.objects) a.Push(name);
+    o.Set("objects", std::move(a));
+  }
+  if (c.allow_unsound) o.Set("allow_unsound", true);
+  o.Set("target", fault::TargetFlagName(c.target));
+  o.Set("blocks", c.faulty_blocks);
+  o.Set("bits", c.bits_per_block);
+  o.Set("runs", c.runs);
+  o.Set("seed", static_cast<std::int64_t>(c.seed));
+  o.Set("recovery", c.recovery_retries);
+  o.Set("epoch", c.escalation_epoch);
+  if (req.importance_sampling) o.Set("importance_sampling", true);
+  if (req.engine.has_value()) {
+    o.Set("engine", sim::EngineName(*req.engine));
+  }
+  if (!req.trace_path.empty()) o.Set("trace", req.trace_path);
+  return o.Dump();
+}
+
+RequestSpec DecodeRequest(const std::string& payload) {
+  json::Value root;
+  try {
+    root = json::Value::Parse(payload);
+  } catch (const json::ParseError& e) {
+    Fail(std::string("malformed request: ") + e.what());
+  }
+  if (!root.IsObject()) Fail("request must be a JSON object");
+
+  RequestSpec req;
+  bool saw_type = false;
+  bool saw_app = false;
+  for (const auto& [key, v] : root.AsObject()) {
+    if (key == "type") {
+      req.type = ParseType(Str(v, "type", kMaxNameBytes));
+      saw_type = true;
+    } else if (key == "app") {
+      req.campaign.app = Str(v, "app", kMaxNameBytes);
+      saw_app = true;
+    } else if (key == "scale") {
+      req.campaign.scale = ParseScale(Str(v, "scale", kMaxNameBytes));
+    } else if (key == "scheme") {
+      req.campaign.scheme = ParseScheme(Str(v, "scheme", kMaxNameBytes));
+    } else if (key == "cover") {
+      req.campaign.cover =
+          static_cast<unsigned>(Int(v, "cover", 0, kMaxSmallCount));
+    } else if (key == "objects") {
+      if (!v.IsArray()) Fail("objects must be an array");
+      if (v.AsArray().size() > kMaxObjects) Fail("objects out of range");
+      for (const json::Value& name : v.AsArray()) {
+        req.campaign.objects.push_back(Str(name, "objects[]", kMaxNameBytes));
+      }
+    } else if (key == "allow_unsound") {
+      req.campaign.allow_unsound = Bool(v, "allow_unsound");
+    } else if (key == "target") {
+      req.campaign.target = ParseTarget(Str(v, "target", kMaxNameBytes));
+    } else if (key == "blocks") {
+      req.campaign.faulty_blocks =
+          static_cast<unsigned>(Int(v, "blocks", 1, kMaxSmallCount));
+    } else if (key == "bits") {
+      req.campaign.bits_per_block =
+          static_cast<unsigned>(Int(v, "bits", 1, kMaxSmallCount));
+    } else if (key == "runs") {
+      req.campaign.runs = static_cast<unsigned>(Int(v, "runs", 1, kMaxRuns));
+    } else if (key == "seed") {
+      if (!v.IsInt()) Fail("seed must be an integer");
+      req.campaign.seed = static_cast<std::uint64_t>(v.AsInt());
+    } else if (key == "recovery") {
+      req.campaign.recovery_retries =
+          static_cast<unsigned>(Int(v, "recovery", 0, kMaxSmallCount));
+    } else if (key == "epoch") {
+      req.campaign.escalation_epoch =
+          static_cast<unsigned>(Int(v, "epoch", 1, kMaxSmallCount));
+    } else if (key == "importance_sampling") {
+      req.importance_sampling = Bool(v, "importance_sampling");
+    } else if (key == "engine") {
+      req.engine = ParseEngine(Str(v, "engine", kMaxNameBytes));
+    } else if (key == "trace") {
+      req.trace_path = Str(v, "trace", kMaxPathBytes);
+    } else {
+      Fail("unknown request key: " + key);
+    }
+  }
+  if (!saw_type) Fail("request is missing \"type\"");
+  const bool needs_app = req.type != RequestType::kStats &&
+                         req.type != RequestType::kShutdown;
+  if (needs_app && !saw_app) {
+    Fail(std::string(RequestTypeName(req.type)) +
+         " request is missing \"app\"");
+  }
+  return req;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  json::Value o = json::Value::MakeObject();
+  o.Set("ok", resp.ok);
+  if (!resp.error.empty()) o.Set("error", resp.error);
+  o.Set("exit_code", resp.exit_code);
+  o.Set("cached", resp.cached);
+  o.Set("batched", resp.batched);
+  if (!resp.text.empty()) o.Set("text", resp.text);
+  if (!resp.csv.empty()) o.Set("csv", resp.csv);
+  if (!resp.extra.empty()) o.Set("extra", resp.extra);
+  return o.Dump();
+}
+
+Response DecodeResponse(const std::string& payload) {
+  json::Value root;
+  try {
+    root = json::Value::Parse(payload);
+  } catch (const json::ParseError& e) {
+    Fail(std::string("malformed response: ") + e.what());
+  }
+  if (!root.IsObject()) Fail("response must be a JSON object");
+  Response resp;
+  for (const auto& [key, v] : root.AsObject()) {
+    if (key == "ok") {
+      resp.ok = Bool(v, "ok");
+    } else if (key == "error") {
+      if (!v.IsString()) Fail("error must be a string");
+      resp.error = v.AsString();
+    } else if (key == "exit_code") {
+      resp.exit_code = static_cast<int>(
+          Int(v, "exit_code", std::numeric_limits<int>::min(),
+              std::numeric_limits<int>::max()));
+    } else if (key == "cached") {
+      resp.cached = Bool(v, "cached");
+    } else if (key == "batched") {
+      resp.batched = Bool(v, "batched");
+    } else if (key == "text") {
+      if (!v.IsString()) Fail("text must be a string");
+      resp.text = v.AsString();
+    } else if (key == "csv") {
+      if (!v.IsString()) Fail("csv must be a string");
+      resp.csv = v.AsString();
+    } else if (key == "extra") {
+      if (!v.IsString()) Fail("extra must be a string");
+      resp.extra = v.AsString();
+    } else {
+      Fail("unknown response key: " + key);
+    }
+  }
+  return resp;
+}
+
+}  // namespace dcrm::service

@@ -1,0 +1,102 @@
+// Wire protocol of the reliability service (DESIGN.md §14).
+//
+// One request or response per frame (common/socket.h framing: u32 LE
+// length + payload), payload a flat JSON object (common/json.h). The
+// request vocabulary is exactly the standalone CLI's flag vocabulary —
+// a request names the same campaign definition `dcrm campaign` would
+// parse, so the daemon can promise bit-identical results — and decodes
+// into the same ShardCampaignSpec the sharded coordinator uses, which
+// is what makes PR 6's CampaignFingerprint the service's natural cache
+// key.
+//
+// Robustness rules the decoder enforces on untrusted bytes:
+//  * requests are capped at kMaxRequestBytes before allocation
+//    (FrameTooLarge drops the connection — the stream cannot be
+//    resynchronized past an unconsumed oversized frame);
+//  * unknown keys, wrong types, missing required fields and
+//    out-of-range numerics all throw ProtoError, which the server maps
+//    to an ok=false response without killing the daemon;
+//  * uint64 seeds ride as int64 bit patterns (lossless two's-complement
+//    round trip; JSON doubles would silently round them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "fault/shard_coordinator.h"
+
+namespace dcrm::service {
+
+// Frame caps. Requests are small flag maps; responses carry rendered
+// reports and CSVs, so the client-side cap is generous.
+inline constexpr std::uint32_t kMaxRequestBytes = 64u * 1024;
+inline constexpr std::uint32_t kMaxResponseBytes = 64u * 1024 * 1024;
+
+// Service exit codes, continuing the CLI table (README.md): the daemon
+// could not bind its socket / the client found nothing listening.
+inline constexpr int kExitBindFailed = 10;
+inline constexpr int kExitConnectFailed = 11;
+
+class ProtoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RequestType : std::uint8_t {
+  kProfile,
+  kTiming,
+  kAnalyze,
+  kAvf,
+  kCampaign,
+  kStats,     // daemon introspection: cache + scheduler counters
+  kShutdown,  // graceful drain; the daemon answers, then stops
+};
+
+const char* RequestTypeName(RequestType t);
+// nullopt for an unknown name (the CLI's `dcrm request <type>` parse).
+std::optional<RequestType> RequestTypeFromName(const std::string& name);
+
+// One decoded request. The campaign spec doubles as the parameter
+// carrier for every analysis type (app/scale/scheme/cover/objects/gpu
+// are common; target/blocks/bits/runs/seed/recovery/epoch matter to
+// campaign, blocks/bits also to avf) — identical to how CliArgs feeds
+// every CLI command from one flag set.
+struct RequestSpec {
+  RequestType type = RequestType::kStats;
+  fault::ShardCampaignSpec campaign;
+  bool importance_sampling = false;
+  // Replay-engine override (--engine=cycle|event). The daemon runs its
+  // own base GpuConfig; a request may switch engines — bit-identical
+  // results by the engine differential contract, but a distinct cache
+  // identity (the gpu hash covers the engine line).
+  std::optional<sim::SimEngine> engine;
+  // Daemon-local path of a saved trace artifact to replay, as
+  // --load-trace; empty = the daemon profiles the app itself (and
+  // caches that).
+  std::string trace_path;
+};
+
+// What the daemon sends back for any request.
+struct Response {
+  bool ok = false;
+  std::string error;  // set when !ok
+  // The exit code the standalone CLI command would have returned
+  // (analyzer verdicts make success codes 5/6 meaningful).
+  int exit_code = 1;
+  bool cached = false;   // served from the artifact cache
+  bool batched = false;  // coalesced with other campaign requests
+  std::string text;      // what standalone dcrm printed on stdout
+  std::string csv;       // the --csv artifact (empty when n/a)
+  std::string extra;     // stats payload (JSON object text), else empty
+};
+
+std::string EncodeRequest(const RequestSpec& req);
+// Throws ProtoError on malformed input (also wraps json::ParseError).
+RequestSpec DecodeRequest(const std::string& payload);
+
+std::string EncodeResponse(const Response& resp);
+Response DecodeResponse(const std::string& payload);
+
+}  // namespace dcrm::service

@@ -1,0 +1,66 @@
+#include "service/render.h"
+
+#include <sstream>
+
+namespace dcrm::service {
+
+std::string RenderTimingCsv(const apps::TimingDetail& d) {
+  std::ostringstream os;
+  os << "component,cycles,warp_insts_issued,mem_insts,transactions,"
+        "replica_transactions,l1_accesses,l1_hits,l1_pending_hits,"
+        "l1_misses,l2_accesses,l2_hits,l2_misses,replica_l2_hits,"
+        "replica_l2_misses,dram_reads,dram_writes,dram_row_hits,"
+        "mshr_stalls,compare_queue_stalls,comparisons\n";
+  const auto row = [&os](const std::string& name, const sim::GpuStats& s,
+                         std::uint64_t cycles) {
+    os << name << ',' << cycles << ',' << s.warp_insts_issued << ','
+       << s.mem_insts << ',' << s.transactions << ','
+       << s.replica_transactions << ',' << s.l1_accesses << ',' << s.l1_hits
+       << ',' << s.l1_pending_hits << ',' << s.l1_misses << ','
+       << s.l2_accesses << ',' << s.l2_hits << ',' << s.l2_misses << ','
+       << s.replica_l2_hits << ',' << s.replica_l2_misses << ','
+       << s.dram_reads << ',' << s.dram_writes << ',' << s.dram_row_hits
+       << ',' << s.mshr_stalls << ',' << s.compare_queue_stalls << ','
+       << s.comparisons << '\n';
+  };
+  row("total", d.total, d.total.cycles);
+  for (std::size_t i = 0; i < d.per_sm.size(); ++i) {
+    row("sm" + std::to_string(i), d.per_sm[i], 0);
+  }
+  for (std::size_t i = 0; i < d.per_partition.size(); ++i) {
+    row("partition" + std::to_string(i), d.per_partition[i], 0);
+  }
+  return os.str();
+}
+
+std::string RenderCampaignSummary(const std::string& app, sim::Scheme scheme,
+                                  unsigned cover,
+                                  const fault::CampaignConfig& cc,
+                                  const fault::CampaignCounts& counts,
+                                  unsigned jobs, double sampling_share) {
+  std::ostringstream os;
+  const auto ci = counts.SdcCi();
+  os << app << " scheme=" << sim::SchemeName(scheme) << " cover=" << cover
+     << " blocks=" << cc.faulty_blocks << " bits=" << cc.bits_per_block
+     << " runs=" << counts.runs << " jobs=" << jobs << "\nSDC " << counts.sdc
+     << " (" << 100 * ci.p << "% +/- " << 100 * ci.margin << "%), detected "
+     << counts.detected << ", due " << counts.due << ", crash "
+     << counts.crash << ", masked " << counts.masked << ", corrections "
+     << counts.corrections << "\n";
+  if (cc.importance_sampling && counts.runs > 0) {
+    // Rates above are conditional on hitting an SDC-reachable block;
+    // the unconditional estimate rescales by the reachable share.
+    os << "importance sampling: reachable share " << sampling_share
+       << ", unconditional SDC estimate " << 100 * sampling_share * ci.p
+       << "% +/- " << 100 * sampling_share * ci.margin << "%\n";
+  }
+  if (cc.recovery.enabled) {
+    os << "recovered " << counts.recovered << ", reexec "
+       << counts.recovery.retries << ", retired "
+       << counts.recovery.retired_blocks << ", escalations "
+       << counts.recovery.escalations << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dcrm::service

@@ -1,0 +1,32 @@
+// Rendering shared by the standalone CLI and the daemon. The service's
+// bit-identity promise ("a served response equals the standalone
+// command's output") is enforced by construction: both front ends call
+// these functions, so the bytes cannot drift apart.
+#pragma once
+
+#include <string>
+
+#include "apps/driver.h"
+#include "fault/campaign.h"
+
+namespace dcrm::service {
+
+// The `dcrm timing --csv` artifact: per-component statistics, one row
+// per component. Engine name and sim_ticks are deliberately omitted so
+// the CSVs of the two engines diff clean when (and only when) they are
+// bit-identical; cycles are global, so they appear on the total row
+// only.
+std::string RenderTimingCsv(const apps::TimingDetail& d);
+
+// The `dcrm campaign` stdout summary block: the header/counts lines,
+// the importance-sampling rescale line (when enabled and trials ran),
+// and the recovery line (when recovery is enabled). `sampling_share`
+// is FaultCampaign::SamplingShare for the configured target; it is
+// read only for the importance line.
+std::string RenderCampaignSummary(const std::string& app, sim::Scheme scheme,
+                                  unsigned cover,
+                                  const fault::CampaignConfig& cc,
+                                  const fault::CampaignCounts& counts,
+                                  unsigned jobs, double sampling_share);
+
+}  // namespace dcrm::service

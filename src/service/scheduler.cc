@@ -1,0 +1,90 @@
+#include "service/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dcrm::service {
+
+RequestScheduler::RequestScheduler(ExecContext& ctx) : ctx_(ctx) {
+  executor_ = std::thread([this] { Loop(); });
+}
+
+RequestScheduler::~RequestScheduler() { Drain(); }
+
+std::future<ServedResult> RequestScheduler::Submit(RequestSpec req) {
+  // The key walk may probe trace files; keep it outside the lock.
+  const std::uint64_t key = ctx_.BatchKey(req);
+  Pending p;
+  p.spec = std::move(req);
+  p.key = key;
+  std::future<ServedResult> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) throw std::runtime_error("service is draining");
+    queue_.push_back(std::move(p));
+    ++stats_.submitted;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void RequestScheduler::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && !executor_.joinable()) return;
+    draining_ = true;
+  }
+  cv_.notify_one();
+  if (executor_.joinable()) executor_.join();
+}
+
+SchedulerStats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RequestScheduler::Loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty() && draining_) return;
+      batch.swap(queue_);
+    }
+    Dispatch(std::move(batch));
+  }
+}
+
+void RequestScheduler::Dispatch(std::vector<Pending> batch) {
+  // Group by batch key, preserving first-arrival order both across
+  // groups and within one.
+  std::vector<bool> done(batch.size(), false);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (done[i]) continue;
+    std::vector<std::size_t> group{i};
+    if (batch[i].key != 0) {
+      for (std::size_t j = i + 1; j < batch.size(); ++j) {
+        if (!done[j] && batch[j].key == batch[i].key) group.push_back(j);
+      }
+    }
+    for (const std::size_t g : group) done[g] = true;
+
+    if (group.size() > 1) {
+      std::vector<RequestSpec> specs;
+      specs.reserve(group.size());
+      for (const std::size_t g : group) specs.push_back(batch[g].spec);
+      const std::vector<ServedResult> results =
+          ctx_.ExecuteCampaignBatch(specs);
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        batch[group[k]].promise.set_value(results[k]);
+      }
+    } else {
+      batch[i].promise.set_value(ctx_.Execute(batch[i].spec));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.executed += group.size();
+  }
+}
+
+}  // namespace dcrm::service

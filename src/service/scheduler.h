@@ -1,0 +1,69 @@
+// Batched request scheduler (DESIGN.md §14). One executor thread
+// drains the whole submission queue each iteration — the natural
+// batching window: everything that arrived while the previous batch
+// executed is considered together — and groups campaign requests by
+// ExecContext::BatchKey so compatible campaigns (identical fingerprint
+// modulo trial count, no Tier-2 coupling) run as ONE merged engine
+// invocation, split back per request bit-identically.
+//
+// Connection threads call Submit and block on the returned future;
+// promises are always fulfilled (ExecContext maps failures to ok=false
+// results), so a waiter can never hang on a lost exception. Drain
+// stops intake (further Submits throw), finishes everything already
+// queued, and joins the executor — the daemon's graceful-shutdown
+// half.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/handlers.h"
+#include "service/proto.h"
+
+namespace dcrm::service {
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;  // requests whose batch finished
+};
+
+class RequestScheduler {
+ public:
+  explicit RequestScheduler(ExecContext& ctx);
+  ~RequestScheduler();
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  // Enqueues one request. Throws std::runtime_error once Drain has
+  // begun (the server answers "service is draining" for those).
+  std::future<ServedResult> Submit(RequestSpec req);
+
+  // Stops intake, finishes the queue, joins the executor. Idempotent.
+  void Drain();
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Pending {
+    RequestSpec spec;
+    std::uint64_t key = 0;  // 0 = not batchable
+    std::promise<ServedResult> promise;
+  };
+
+  void Loop();
+  void Dispatch(std::vector<Pending> batch);
+
+  ExecContext& ctx_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending> queue_;
+  bool draining_ = false;
+  SchedulerStats stats_;
+  std::thread executor_;
+};
+
+}  // namespace dcrm::service

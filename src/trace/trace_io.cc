@@ -1,6 +1,7 @@
 #include "trace/trace_io.h"
 
 #include <cstdint>
+#include <fstream>
 #include <istream>
 #include <iterator>
 #include <ostream>
@@ -187,6 +188,57 @@ std::shared_ptr<const TraceStore> LoadTrace(std::istream& is) {
 
 std::shared_ptr<const TraceStore> LoadTraceFile(const std::string& path) {
   return LoadTraceFromString(ReadFileToString(path));
+}
+
+namespace {
+
+// Smallest well-formed artifact: magic + version + four count varints
+// (at least one byte each) + trailing checksum.
+constexpr std::size_t kMinArtifactBytes = sizeof(kMagic) + 4 + 4 + 8;
+
+TraceTailProbe ProbeParts(std::string_view head, std::string_view tail,
+                          std::uint64_t total_size) {
+  if (total_size < kMinArtifactBytes) Corrupt("truncated");
+  if (head.size() < sizeof(kMagic) + 4 || tail.size() != 8) {
+    Corrupt("truncated");
+  }
+  if (head.substr(0, sizeof(kMagic)) !=
+      std::string_view(kMagic, sizeof(kMagic))) {
+    Corrupt("bad magic");
+  }
+  bin::Reader hr(head, kContext);
+  hr.Skip(sizeof(kMagic));
+  TraceTailProbe probe;
+  probe.version = hr.U32();
+  if (probe.version != kVersion) Corrupt("unsupported version");
+  bin::Reader tr(tail, kContext);
+  probe.checksum = tr.U64();
+  return probe;
+}
+
+}  // namespace
+
+TraceTailProbe ProbeTraceTailBytes(std::string_view data) {
+  if (data.size() < kMinArtifactBytes) Corrupt("truncated");
+  return ProbeParts(data.substr(0, sizeof(kMagic) + 4),
+                    data.substr(data.size() - 8), data.size());
+}
+
+TraceTailProbe ProbeTraceTail(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) Corrupt("cannot read " + path);
+  is.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(is.tellg());
+  if (size < kMinArtifactBytes) Corrupt("truncated");
+  char head[sizeof(kMagic) + 4];
+  char tail[8];
+  is.seekg(0, std::ios::beg);
+  is.read(head, sizeof(head));
+  is.seekg(static_cast<std::streamoff>(size - 8), std::ios::beg);
+  is.read(tail, sizeof(tail));
+  if (!is) Corrupt("cannot read " + path);
+  return ProbeParts(std::string_view(head, sizeof(head)),
+                    std::string_view(tail, sizeof(tail)), size);
 }
 
 }  // namespace dcrm::trace

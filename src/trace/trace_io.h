@@ -21,9 +21,11 @@
 // validated by TraceStore::FromColumns like any other.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "trace/trace_store.h"
 
@@ -41,5 +43,27 @@ void SaveTraceFile(const TraceStore& store, const std::string& path);
 std::shared_ptr<const TraceStore> LoadTrace(std::istream& is);
 std::shared_ptr<const TraceStore> LoadTraceFromString(const std::string& data);
 std::shared_ptr<const TraceStore> LoadTraceFile(const std::string& path);
+
+// Checksum-tail fast path. A full LoadTrace costs two passes over the
+// artifact (the FNV-1a validation pass, then the decode pass); callers
+// that only need the artifact's *identity* — the service's
+// content-addressed cache keys, or an "is this the store I already
+// hold?" probe — read just the envelope: leading magic + version, and
+// the stored trailing checksum. O(1) I/O regardless of trace size.
+// The payload itself is NOT validated; a full load (or the envelope's
+// checksum match against an already-validated copy) still guards every
+// first decode.
+struct TraceTailProbe {
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;  // the stored trailing FNV-1a
+};
+
+// Probe an in-memory artifact. Throws std::runtime_error on bad
+// magic, unknown version, or truncation below the minimum envelope.
+TraceTailProbe ProbeTraceTailBytes(std::string_view data);
+
+// Probe a saved artifact reading only the first 12 and last 8 bytes.
+// Throws std::runtime_error when unreadable or malformed.
+TraceTailProbe ProbeTraceTail(const std::string& path);
 
 }  // namespace dcrm::trace

@@ -1,0 +1,603 @@
+// Reliability-service tests (DESIGN.md §14).
+//
+// The property under test everywhere: a served response is
+// bit-identical to the standalone `dcrm` command — whether it came off
+// a cold execution, the content-addressed cache, or a coalesced
+// campaign batch. The server tests drive a real Unix-domain socket
+// with concurrent clients; the SIGTERM test drains a real `dcrm serve`
+// subprocess (DCRM_BIN).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/driver.h"
+#include "apps/registry.h"
+#include "common/file_util.h"
+#include "common/socket.h"
+#include "common/subprocess.h"
+#include "fault/parallel_campaign.h"
+#include "fault/shard_coordinator.h"
+#include "fault/shard_io.h"
+#include "service/artifact_cache.h"
+#include "service/client.h"
+#include "service/handlers.h"
+#include "service/proto.h"
+#include "service/server.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+using namespace dcrm;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "dcrm_service_" + name;
+  EnsureDir(dir);
+  return dir;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+fault::ShardCampaignSpec BaseSpec(unsigned runs, std::uint64_t seed = 1) {
+  fault::ShardCampaignSpec spec;
+  spec.app = "P-ATAX";
+  spec.scale = apps::AppScale::kTiny;
+  spec.scheme = sim::Scheme::kDetectOnly;
+  spec.runs = runs;
+  spec.seed = seed;
+  return spec;
+}
+
+service::RequestSpec CampaignReq(unsigned runs, std::uint64_t seed = 1) {
+  service::RequestSpec req;
+  req.type = service::RequestType::kCampaign;
+  req.campaign = BaseSpec(runs, seed);
+  return req;
+}
+
+struct Standalone {
+  fault::CampaignCounts counts;
+  std::string csv;
+};
+
+// Ground truth: the same campaign through the plain in-process engine,
+// exactly as `dcrm campaign --csv` runs it.
+Standalone RunStandalone(const fault::ShardCampaignSpec& spec) {
+  auto app = apps::MakeApp(spec.app, spec.scale);
+  const auto profile = apps::ProfileApp(*app, spec.gpu);
+  unsigned cover = spec.cover.value_or(
+      static_cast<unsigned>(profile.hot.hot_objects.size()));
+  if (spec.scheme == sim::Scheme::kNone) cover = 0;
+  fault::CampaignSpec cs;
+  cs.make_app = [&spec] { return apps::MakeApp(spec.app, spec.scale); };
+  cs.profile = &profile;
+  cs.scheme = spec.scheme;
+  cs.cover_objects = cover;
+  cs.object_names = spec.objects;
+  cs.allow_unsound = spec.allow_unsound;
+  fault::ParallelCampaign campaign(std::move(cs), 1);
+  Standalone ref;
+  ref.counts = campaign.Run(fault::MakeCampaignConfig(spec));
+  std::ostringstream os;
+  fault::WriteCountsCsv(ref.counts, campaign.ledger(), os);
+  ref.csv = os.str();
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Checksum-tail probe (the LoadTrace fast path)
+
+TEST(ServiceTraceProbeTest, ProbeMatchesSavedArtifact) {
+  const std::string dir = TestDir("probe");
+  auto app = apps::MakeApp("P-ATAX", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, sim::GpuConfig{});
+  ASSERT_NE(profile.trace_store, nullptr);
+
+  const std::string bytes = trace::SaveTraceToString(*profile.trace_store);
+  const auto mem = trace::ProbeTraceTailBytes(bytes);
+  EXPECT_EQ(mem.version, 1u);
+
+  const std::string path = dir + "/atax.trace";
+  trace::SaveTraceFile(*profile.trace_store, path);
+  const auto file = trace::ProbeTraceTail(path);
+  EXPECT_EQ(file.version, mem.version);
+  EXPECT_EQ(file.checksum, mem.checksum);
+
+  // The probe is an identity read, not a validation pass: a payload
+  // flip leaves the probe unchanged while the full load still rejects.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x40;
+  EXPECT_EQ(trace::ProbeTraceTailBytes(corrupt).checksum, mem.checksum);
+  EXPECT_THROW(trace::LoadTraceFromString(corrupt), std::runtime_error);
+}
+
+TEST(ServiceTraceProbeTest, ProbeRejectsBadEnvelopes) {
+  const std::string dir = TestDir("probe_bad");
+  EXPECT_THROW(trace::ProbeTraceTailBytes("short"), std::runtime_error);
+  EXPECT_THROW(trace::ProbeTraceTailBytes(std::string(64, 'x')),
+               std::runtime_error);
+  EXPECT_THROW(trace::ProbeTraceTail(dir + "/missing.trace"),
+               std::runtime_error);
+  const std::string path = dir + "/trunc.trace";
+  std::ofstream(path) << "dcrmtrc\n";  // magic only, no version/tail
+  EXPECT_THROW(trace::ProbeTraceTail(path), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Prefix engine (the batching primitive)
+
+TEST(ServicePrefixTest, PrefixesMatchStandaloneRuns) {
+  const std::vector<unsigned> ends = {16, 32, 48};
+  fault::ShardCampaignSpec spec = BaseSpec(48);
+  auto app = apps::MakeApp(spec.app, spec.scale);
+  const auto profile = apps::ProfileApp(*app, spec.gpu);
+  fault::CampaignSpec cs;
+  cs.make_app = [&spec] { return apps::MakeApp(spec.app, spec.scale); };
+  cs.profile = &profile;
+  cs.scheme = spec.scheme;
+  cs.cover_objects =
+      static_cast<unsigned>(profile.hot.hot_objects.size());
+  fault::ParallelCampaign campaign(std::move(cs), 1);
+  const auto prefixes = campaign.RunPrefixes(
+      fault::MakeCampaignConfig(spec), ends, fault::EngineOptions{});
+  ASSERT_EQ(prefixes.size(), ends.size());
+
+  for (std::size_t i = 0; i < ends.size(); ++i) {
+    const Standalone ref = RunStandalone(BaseSpec(ends[i]));
+    EXPECT_EQ(prefixes[i].end, ends[i]);
+    EXPECT_EQ(prefixes[i].counts, ref.counts) << "prefix " << ends[i];
+    std::ostringstream os;
+    fault::WriteCountsCsv(prefixes[i].counts, prefixes[i].ledger, os);
+    EXPECT_EQ(os.str(), ref.csv) << "prefix " << ends[i];
+  }
+}
+
+TEST(ServicePrefixTest, ValidatesBoundaries) {
+  fault::ShardCampaignSpec spec = BaseSpec(32);
+  auto app = apps::MakeApp(spec.app, spec.scale);
+  const auto profile = apps::ProfileApp(*app, spec.gpu);
+  auto make = [&] {
+    fault::CampaignSpec cs;
+    cs.make_app = [&spec] { return apps::MakeApp(spec.app, spec.scale); };
+    cs.profile = &profile;
+    cs.scheme = spec.scheme;
+    cs.cover_objects =
+        static_cast<unsigned>(profile.hot.hot_objects.size());
+    return cs;
+  };
+  const fault::CampaignConfig cfg = fault::MakeCampaignConfig(spec);
+  const fault::EngineOptions eo;
+  {
+    fault::ParallelCampaign c(make(), 1);
+    EXPECT_THROW(c.RunPrefixes(cfg, std::vector<unsigned>{}, eo),
+                 std::invalid_argument);
+    EXPECT_THROW(c.RunPrefixes(cfg, std::vector<unsigned>{16, 16}, eo),
+                 std::invalid_argument);
+    EXPECT_THROW(c.RunPrefixes(cfg, std::vector<unsigned>{0, 16}, eo),
+                 std::invalid_argument);
+    EXPECT_THROW(c.RunPrefixes(cfg, std::vector<unsigned>{16, 64}, eo),
+                 std::invalid_argument);
+  }
+  // Coupled Tier-2: interior boundaries must sit on escalation epochs.
+  spec.recovery_retries = 1;
+  spec.escalation_epoch = 8;
+  const fault::CampaignConfig coupled = fault::MakeCampaignConfig(spec);
+  {
+    fault::ParallelCampaign c(make(), 1);
+    EXPECT_THROW(c.RunPrefixes(coupled, std::vector<unsigned>{12, 32}, eo),
+                 std::invalid_argument);
+  }
+  {
+    fault::ParallelCampaign c(make(), 1);
+    const auto ok = c.RunPrefixes(coupled, std::vector<unsigned>{16, 32}, eo);
+    ASSERT_EQ(ok.size(), 2u);
+    EXPECT_EQ(ok[1].counts.runs, 32u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache
+
+TEST(ServiceCacheTest, LruEvictionUnderByteBudget) {
+  service::ArtifactCache cache(100);
+  auto val = [](int n) { return std::make_shared<const int>(n); };
+  cache.Put<int>("a", val(1), 40);
+  cache.Put<int>("b", val(2), 40);
+  ASSERT_NE(cache.Get<int>("a"), nullptr);  // a is now most-recent
+  cache.Put<int>("c", val(3), 40);          // 120 bytes: evicts b (LRU)
+  EXPECT_EQ(cache.Get<int>("b"), nullptr);
+  ASSERT_NE(cache.Get<int>("a"), nullptr);
+  ASSERT_NE(cache.Get<int>("c"), nullptr);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 80u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.hits, 3u);   // a, a, c
+  EXPECT_EQ(s.misses, 1u); // the evicted b
+}
+
+TEST(ServiceCacheTest, OversizeEntryAdmittedAloneAndTypeChecked) {
+  service::ArtifactCache cache(50);
+  auto big = std::make_shared<const std::string>("big");
+  cache.Put<std::string>("big", big, 500);  // larger than whole budget
+  EXPECT_NE(cache.Get<std::string>("big"), nullptr);
+  // Wrong type under the same key is a miss, not a crash.
+  EXPECT_EQ(cache.Get<int>("big"), nullptr);
+  // The next insert pushes the oversize entry out.
+  cache.Put<int>("small", std::make_shared<const int>(7), 10);
+  EXPECT_EQ(cache.Get<std::string>("big"), nullptr);
+  EXPECT_NE(cache.Get<int>("small"), nullptr);
+  EXPECT_EQ(cache.stats().bytes, 10u);
+}
+
+TEST(ServiceCacheTest, RefreshReplacesInPlace) {
+  service::ArtifactCache cache(100);
+  cache.Put<int>("k", std::make_shared<const int>(1), 30);
+  cache.Put<int>("k", std::make_shared<const int>(2), 60);
+  const auto got = cache.Get<int>("k");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().bytes, 60u);
+}
+
+// ---------------------------------------------------------------------------
+// Execution context: identity, caching, batching
+
+TEST(ServiceExecTest, CampaignMatchesStandaloneAndRepeatsHitCache) {
+  service::ExecContext ctx(service::ExecOptions{});
+  const service::RequestSpec req = CampaignReq(40);
+  const Standalone ref = RunStandalone(req.campaign);
+
+  EXPECT_FALSE(ctx.TryCached(req).has_value());
+  const service::ServedResult cold = ctx.Execute(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cached);
+  EXPECT_EQ(cold.csv, ref.csv);
+  EXPECT_NE(cold.text.find("SDC"), std::string::npos);
+
+  const auto warm = ctx.TryCached(req);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->cached);
+  EXPECT_EQ(warm->csv, ref.csv);
+  EXPECT_EQ(warm->text, cold.text);
+}
+
+TEST(ServiceExecTest, AnalysisTypesAreDeterministicAcrossContexts) {
+  for (const service::RequestType type :
+       {service::RequestType::kAnalyze, service::RequestType::kAvf,
+        service::RequestType::kTiming, service::RequestType::kProfile}) {
+    service::RequestSpec req = CampaignReq(8);
+    req.type = type;
+    req.campaign.app = "P-BICG";
+    service::ExecContext a(service::ExecOptions{});
+    service::ExecContext b(service::ExecOptions{});
+    const service::ServedResult ra = a.Execute(req);
+    const service::ServedResult rb = b.Execute(req);
+    ASSERT_TRUE(ra.ok) << ra.error;
+    EXPECT_EQ(ra.text, rb.text) << service::RequestTypeName(type);
+    EXPECT_EQ(ra.csv, rb.csv) << service::RequestTypeName(type);
+    EXPECT_EQ(ra.exit_code, rb.exit_code);
+    // And the repeat within one context is a pure cache hit.
+    const auto warm = a.TryCached(req);
+    ASSERT_TRUE(warm.has_value()) << service::RequestTypeName(type);
+    EXPECT_EQ(warm->text, ra.text);
+  }
+}
+
+TEST(ServiceExecTest, BatchSplitsBitIdentically) {
+  service::ExecContext ctx(service::ExecOptions{});
+  const std::vector<service::RequestSpec> reqs = {
+      CampaignReq(16), CampaignReq(32), CampaignReq(32)};
+  const auto out = ctx.ExecuteCampaignBatch(reqs);
+  ASSERT_EQ(out.size(), 3u);
+  const Standalone ref16 = RunStandalone(BaseSpec(16));
+  const Standalone ref32 = RunStandalone(BaseSpec(32));
+  ASSERT_TRUE(out[0].ok) << out[0].error;
+  EXPECT_EQ(out[0].csv, ref16.csv);
+  EXPECT_EQ(out[1].csv, ref32.csv);
+  EXPECT_EQ(out[2].csv, ref32.csv);
+  for (const auto& r : out) EXPECT_TRUE(r.batched);
+
+  const auto stats = ctx.batch_stats();
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.grouped_requests, 3u);
+  // One merged 32-trial run served 16+32+32 requested trials.
+  EXPECT_EQ(stats.trials_saved, 16u + 32u + 32u - 32u);
+}
+
+TEST(ServiceExecTest, BatchKeyGroupsOnlyCompatibleCampaigns) {
+  service::ExecContext ctx(service::ExecOptions{});
+  const std::uint64_t k16 = ctx.BatchKey(CampaignReq(16));
+  const std::uint64_t k32 = ctx.BatchKey(CampaignReq(32));
+  ASSERT_NE(k16, 0u);
+  EXPECT_EQ(k16, k32);  // runs is zeroed out of the key
+
+  EXPECT_NE(ctx.BatchKey(CampaignReq(16, /*seed=*/2)), k16);
+
+  service::RequestSpec is = CampaignReq(16);
+  is.importance_sampling = true;
+  EXPECT_NE(ctx.BatchKey(is), k16);
+
+  // Coupled Tier-2 campaigns are never batchable: prefix splitting
+  // would need epoch-aligned boundaries the scheduler cannot promise.
+  service::RequestSpec coupled = CampaignReq(16);
+  coupled.campaign.recovery_retries = 1;
+  EXPECT_EQ(ctx.BatchKey(coupled), 0u);
+
+  service::RequestSpec analyze = CampaignReq(16);
+  analyze.type = service::RequestType::kAnalyze;
+  EXPECT_EQ(ctx.BatchKey(analyze), 0u);
+}
+
+TEST(ServiceExecTest, TinyBudgetEvictsButStaysCorrect) {
+  service::ExecOptions opts;
+  opts.cache_bytes = 1024;  // far below one profile artifact
+  service::ExecContext ctx(opts);
+  const service::RequestSpec req = CampaignReq(16);
+  const Standalone ref = RunStandalone(req.campaign);
+
+  const service::ServedResult first = ctx.Execute(req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.csv, ref.csv);
+  // Everything large was evicted again; a repeat recomputes, but the
+  // answer is unchanged.
+  const service::ServedResult again = ctx.Execute(req);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.csv, ref.csv);
+  EXPECT_GT(ctx.cache().stats().evictions, 0u);
+}
+
+TEST(ServiceExecTest, TraceRequestsMeetSelfProfiledContentAddress) {
+  const std::string dir = TestDir("trace_req");
+  auto app = apps::MakeApp("P-ATAX", apps::AppScale::kTiny);
+  const auto profile = apps::ProfileApp(*app, sim::GpuConfig{});
+  const std::string path = dir + "/atax.trace";
+  trace::SaveTraceFile(*profile.trace_store, path);
+
+  service::ExecContext ctx(service::ExecOptions{});
+  // Cold self-profiled campaign publishes its result under the
+  // content-true fingerprint (the serialized store's checksum)...
+  const service::ServedResult self = ctx.Execute(CampaignReq(24));
+  ASSERT_TRUE(self.ok) << self.error;
+  // ...so a trace-backed request for the same campaign — whose cache
+  // key probes the artifact's stored tail checksum — is already a hit.
+  service::RequestSpec via_trace = CampaignReq(24);
+  via_trace.trace_path = path;
+  const auto hit = ctx.TryCached(via_trace);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cached);
+  EXPECT_EQ(hit->csv, self.csv);
+}
+
+TEST(ServiceExecTest, FailuresMapToCliExitCodes) {
+  service::ExecContext ctx(service::ExecOptions{});
+  service::RequestSpec req = CampaignReq(8);
+  req.campaign.app = "no-such-app";
+  const service::ServedResult r = ctx.Execute(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("error:"), std::string::npos);
+
+  service::RequestSpec bad_trace = CampaignReq(8);
+  bad_trace.trace_path = TestDir("no_trace") + "/missing.trace";
+  EXPECT_EQ(ctx.BatchKey(bad_trace), 0u);  // unprobeable → unbatchable
+  EXPECT_FALSE(ctx.TryCached(bad_trace).has_value());
+  const service::ServedResult rt = ctx.Execute(bad_trace);
+  EXPECT_FALSE(rt.ok);
+  EXPECT_EQ(rt.exit_code, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Server: concurrent clients, protocol robustness, drain
+
+TEST(ServiceServerTest, ConcurrentClientsGetBitIdenticalResults) {
+  const std::string dir = TestDir("server");
+  service::ServerOptions so;
+  so.socket_path = dir + "/d.sock";
+  service::Server server(std::move(so));
+  server.Start();
+
+  const Standalone ref = RunStandalone(BaseSpec(24));
+  constexpr int kClients = 4;
+  std::vector<service::Response> got(kClients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        auto client = service::Client::Connect(server.socket_path());
+        got[i] = client.Call(CampaignReq(24));
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const auto& resp : got) {
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.exit_code, 0);
+    EXPECT_EQ(resp.csv, ref.csv);
+  }
+
+  // Introspection: the stats request reports a live cache.
+  auto client = service::Client::Connect(server.socket_path());
+  service::RequestSpec stats;
+  stats.type = service::RequestType::kStats;
+  const service::Response s = client.Call(stats);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_NE(s.extra.find("\"cache_entries\""), std::string::npos);
+  EXPECT_NE(s.text.find("cache:"), std::string::npos);
+
+  // Graceful shutdown by request: answered, then drained.
+  service::RequestSpec down;
+  down.type = service::RequestType::kShutdown;
+  const service::Response d = client.Call(down);
+  ASSERT_TRUE(d.ok) << d.error;
+  server.Join();
+  EXPECT_FALSE(FileExists(server.socket_path()));
+}
+
+TEST(ServiceServerTest, MalformedRequestsAreRejectedNotFatal) {
+  const std::string dir = TestDir("server_bad");
+  service::ServerOptions so;
+  so.socket_path = dir + "/d.sock";
+  service::Server server(std::move(so));
+  server.Start();
+
+  net::UnixSocket conn = net::ConnectUnix(server.socket_path());
+  // Not JSON at all.
+  net::WriteFrame(conn.fd(), "this is not json");
+  auto frame = net::ReadFrame(conn.fd(), service::kMaxResponseBytes);
+  ASSERT_TRUE(frame.has_value());
+  service::Response resp = service::DecodeResponse(*frame);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("malformed"), std::string::npos);
+
+  // Unknown key: strict decode, same connection stays usable.
+  net::WriteFrame(conn.fd(), R"({"type":"stats","bogus":1})");
+  frame = net::ReadFrame(conn.fd(), service::kMaxResponseBytes);
+  ASSERT_TRUE(frame.has_value());
+  resp = service::DecodeResponse(*frame);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown request key"), std::string::npos);
+
+  net::WriteFrame(conn.fd(), R"({"type":"stats"})");
+  frame = net::ReadFrame(conn.fd(), service::kMaxResponseBytes);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(service::DecodeResponse(*frame).ok);
+
+  // An oversized frame is answered, then the connection is dropped —
+  // the unconsumed payload makes the stream unrecoverable.
+  const std::string huge(service::kMaxRequestBytes + 1, 'x');
+  net::WriteFrame(conn.fd(), huge);
+  frame = net::ReadFrame(conn.fd(), service::kMaxResponseBytes);
+  ASSERT_TRUE(frame.has_value());
+  resp = service::DecodeResponse(*frame);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("cap"), std::string::npos);
+  EXPECT_FALSE(net::ReadFrame(conn.fd(), service::kMaxResponseBytes)
+                   .has_value());  // server closed
+
+  // The daemon survived all of it.
+  auto client = service::Client::Connect(server.socket_path());
+  service::RequestSpec stats;
+  stats.type = service::RequestType::kStats;
+  EXPECT_TRUE(client.Call(stats).ok);
+  server.RequestStop();
+  server.Join();
+}
+
+TEST(ServiceServerTest, DrainAnswersInFlightRequests) {
+  const std::string dir = TestDir("server_drain");
+  service::ServerOptions so;
+  so.socket_path = dir + "/d.sock";
+  service::Server server(std::move(so));
+  server.Start();
+
+  service::Response resp;
+  std::thread client_thread([&] {
+    auto client = service::Client::Connect(server.socket_path());
+    resp = client.Call(CampaignReq(32));
+  });
+  // Let the request reach the scheduler, then start the drain while it
+  // is (most likely) still executing.
+  SleepMs(50);
+  server.RequestStop();
+  server.Join();
+  client_thread.join();
+
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.csv, RunStandalone(BaseSpec(32)).csv);
+  EXPECT_FALSE(FileExists(server.socket_path()));
+}
+
+TEST(ServiceServerTest, SigtermDrainsServeSubprocess) {
+  const std::string dir = TestDir("sigterm");
+  const std::string sock = dir + "/d.sock";
+  Subprocess daemon = Subprocess::Spawn(
+      {DCRM_BIN, "serve", "--socket=" + sock}, dir + "/serve.out",
+      dir + "/serve.err");
+
+  // Wait for the daemon to bind.
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    try {
+      auto client = service::Client::Connect(sock);
+      service::RequestSpec stats;
+      stats.type = service::RequestType::kStats;
+      up = client.Call(stats).ok;
+    } catch (const net::SocketError&) {
+      SleepMs(100);
+    }
+  }
+  ASSERT_TRUE(up) << "daemon never came up";
+
+  auto client = service::Client::Connect(sock);
+  const service::Response resp = client.Call(CampaignReq(16));
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.csv, RunStandalone(BaseSpec(16)).csv);
+
+  daemon.Kill(SIGTERM);
+  const ExitStatus status = daemon.Wait();
+  EXPECT_TRUE(status.ok()) << status.Describe();
+  EXPECT_FALSE(FileExists(sock));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol round trip
+
+TEST(ServiceProtoTest, RequestRoundTripsThroughWire) {
+  service::RequestSpec req = CampaignReq(1000, 0xdeadbeefcafef00dULL);
+  req.campaign.cover = 2;
+  req.campaign.objects = {"A", "x"};
+  req.campaign.recovery_retries = 3;
+  req.campaign.escalation_epoch = 16;
+  req.importance_sampling = true;
+  req.engine = sim::SimEngine::kEventDriven;
+  req.trace_path = "/tmp/t.trace";
+
+  const service::RequestSpec back =
+      service::DecodeRequest(service::EncodeRequest(req));
+  EXPECT_EQ(back.type, req.type);
+  EXPECT_EQ(back.campaign.app, req.campaign.app);
+  EXPECT_EQ(back.campaign.runs, req.campaign.runs);
+  EXPECT_EQ(back.campaign.seed, req.campaign.seed);  // u64 bit pattern
+  EXPECT_EQ(back.campaign.cover, req.campaign.cover);
+  EXPECT_EQ(back.campaign.objects, req.campaign.objects);
+  EXPECT_EQ(back.campaign.recovery_retries, req.campaign.recovery_retries);
+  EXPECT_EQ(back.campaign.escalation_epoch, req.campaign.escalation_epoch);
+  EXPECT_EQ(back.importance_sampling, req.importance_sampling);
+  EXPECT_EQ(back.engine, req.engine);
+  EXPECT_EQ(back.trace_path, req.trace_path);
+}
+
+TEST(ServiceProtoTest, DecoderRejectsHostileInput) {
+  EXPECT_THROW(service::DecodeRequest("[]"), service::ProtoError);
+  EXPECT_THROW(service::DecodeRequest("{}"), service::ProtoError);
+  EXPECT_THROW(service::DecodeRequest(R"({"type":"frobnicate"})"),
+               service::ProtoError);
+  EXPECT_THROW(service::DecodeRequest(R"({"type":"campaign"})"),
+               service::ProtoError);  // missing app
+  EXPECT_THROW(
+      service::DecodeRequest(
+          R"({"type":"campaign","app":"P-ATAX","runs":999999999999})"),
+      service::ProtoError);
+  EXPECT_THROW(
+      service::DecodeRequest(R"({"type":"campaign","app":"P-ATAX","runs":0})"),
+      service::ProtoError);
+}
+
+}  // namespace

@@ -44,6 +44,17 @@
 //                 exponential backoff
 //   dcrm shard-worker <app> ...   internal: runs one shard (spawned by
 //                 dcrm shard; not for interactive use)
+//   dcrm serve [--socket=PATH] [--cache-mb=N]
+//                 reliability-as-a-service daemon: accepts profile /
+//                 timing / analyze / avf / campaign requests from many
+//                 concurrent clients over a Unix socket, with a
+//                 content-addressed artifact cache and a scheduler
+//                 that coalesces compatible campaign requests into one
+//                 merged engine run (bit-identical results either way)
+//   dcrm request <type> [<app>] [command flags] [--socket=PATH]
+//                 one client request against a running daemon; <type>
+//                 is profile|timing|analyze|avf|campaign|stats|
+//                 shutdown, flags are the standalone command's flags
 //   Common flags: --scale=tiny|small|medium  --config=FILE  --seed=N
 //                 --load-trace=FILE (profile/timing/campaign/analyze/shard:
 //                 reuse a saved trace store instead of rebuilding traces)
@@ -56,10 +67,12 @@
 // warnings, 6 the analyzer found violations, 7 interrupted at a
 // checkpointable boundary (resumable), 8 a shard's retry budget was
 // exhausted (resumable), 9 campaign counts violated the static bounds
-// (--cross-check), 1 any other error.
+// (--cross-check), 10 the daemon could not bind its socket, 11 the
+// client found nothing listening, 1 any other error.
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -80,6 +93,10 @@
 #include "fault/parallel_campaign.h"
 #include "fault/shard_coordinator.h"
 #include "fault/shard_io.h"
+#include "service/client.h"
+#include "service/proto.h"
+#include "service/render.h"
+#include "service/server.h"
 #include "sim/config_io.h"
 #include "trace/trace_io.h"
 #include "trace/trace_store.h"
@@ -164,12 +181,20 @@ struct CliArgs {
   std::string ledger_in;
   unsigned kill_after = 0;
   unsigned hang_after = 0;
+  // Service (dcrm serve / dcrm request).
+  std::string socket_path = "dcrm.sock";
+  std::uint64_t cache_mb = 256;
+  std::string request_type;
+  // Whether --engine was given explicitly: a request only overrides
+  // the daemon's engine when the client asked for one.
+  std::optional<sim::SimEngine> engine_override;
 };
 
 int Usage() {
   std::cerr
       << "usage: dcrm "
-         "<apps|config|profile|timing|campaign|recover|analyze|avf|shard> "
+         "<apps|config|profile|timing|campaign|recover|analyze|avf|shard"
+         "|serve|request> "
          "[<app>] [flags]\n"
          "flags: --scale=tiny|small|medium --config=FILE --seed=N\n"
          "       --engine=cycle|event (replay engine; bit-identical "
@@ -197,7 +222,11 @@ int Usage() {
          "budget / escalation epoch)\n"
          "       --shards=N --workers=M --workdir=DIR --resume\n"
          "       --shard-timeout=SECONDS --max-retries=N --backoff-ms=N "
-         "(shard)\n";
+         "(shard)\n"
+         "       --socket=PATH (serve, request: Unix socket path)\n"
+         "       --cache-mb=N (serve: artifact-cache byte budget)\n"
+         "       dcrm request <type> <app> [flags]: type is profile|"
+         "timing|analyze|avf|campaign|stats|shutdown\n";
   return 2;
 }
 
@@ -222,6 +251,7 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
     if (*v == "cycle") args.cfg.engine = sim::SimEngine::kCycleStepped;
     else if (*v == "event") args.cfg.engine = sim::SimEngine::kEventDriven;
     else return false;
+    args.engine_override = args.cfg.engine;
     return true;
   }
   if (auto v = value("--seed=")) {
@@ -392,6 +422,14 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
     args.hang_after = static_cast<unsigned>(std::stoul(*v));
     return true;
   }
+  if (auto v = value("--socket=")) {
+    args.socket_path = *v;
+    return !args.socket_path.empty();
+  }
+  if (auto v = value("--cache-mb=")) {
+    args.cache_mb = std::stoull(*v);
+    return args.cache_mb > 0;
+  }
   return false;
 }
 
@@ -460,37 +498,13 @@ int CmdProfile(CliArgs& args) {
   return 0;
 }
 
-// Per-component statistics, one row per component. Engine name and
-// sim_ticks are deliberately omitted so the CSVs of the two engines
-// diff clean when (and only when) they are bit-identical; cycles are
-// global, so they appear on the total row only.
+// The CSV bytes come from the renderer the daemon also uses
+// (service/render.h), so `dcrm timing --csv` and a served timing
+// request are bit-identical by construction.
 void WriteTimingCsv(const std::string& path, const apps::TimingDetail& d) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot write " + path);
-  os << "component,cycles,warp_insts_issued,mem_insts,transactions,"
-        "replica_transactions,l1_accesses,l1_hits,l1_pending_hits,"
-        "l1_misses,l2_accesses,l2_hits,l2_misses,replica_l2_hits,"
-        "replica_l2_misses,dram_reads,dram_writes,dram_row_hits,"
-        "mshr_stalls,compare_queue_stalls,comparisons\n";
-  const auto row = [&os](const std::string& name, const sim::GpuStats& s,
-                         std::uint64_t cycles) {
-    os << name << ',' << cycles << ',' << s.warp_insts_issued << ','
-       << s.mem_insts << ',' << s.transactions << ','
-       << s.replica_transactions << ',' << s.l1_accesses << ',' << s.l1_hits
-       << ',' << s.l1_pending_hits << ',' << s.l1_misses << ','
-       << s.l2_accesses << ',' << s.l2_hits << ',' << s.l2_misses << ','
-       << s.replica_l2_hits << ',' << s.replica_l2_misses << ','
-       << s.dram_reads << ',' << s.dram_writes << ',' << s.dram_row_hits
-       << ',' << s.mshr_stalls << ',' << s.compare_queue_stalls << ','
-       << s.comparisons << '\n';
-  };
-  row("total", d.total, d.total.cycles);
-  for (std::size_t i = 0; i < d.per_sm.size(); ++i) {
-    row("sm" + std::to_string(i), d.per_sm[i], 0);
-  }
-  for (std::size_t i = 0; i < d.per_partition.size(); ++i) {
-    row("partition" + std::to_string(i), d.per_partition[i], 0);
-  }
+  os << service::RenderTimingCsv(d);
 }
 
 int CmdTiming(CliArgs& args) {
@@ -674,29 +688,15 @@ int CmdCampaign(CliArgs& args) {
   eo.max_wave = 512;
   const auto counts = campaign.Run(cc, eo);
   const bool interrupted = counts.runs < cc.runs;
-  const auto ci = counts.SdcCi();
-  std::cout << args.app << " scheme=" << sim::SchemeName(args.scheme)
-            << " cover=" << cover << " blocks=" << cc.faulty_blocks
-            << " bits=" << cc.bits_per_block << " runs=" << counts.runs
-            << " jobs=" << campaign.jobs() << "\nSDC " << counts.sdc << " ("
-            << 100 * ci.p << "% +/- " << 100 * ci.margin << "%), detected "
-            << counts.detected << ", due " << counts.due << ", crash "
-            << counts.crash << ", masked " << counts.masked
-            << ", corrections " << counts.corrections << "\n";
-  if (cc.importance_sampling && counts.runs > 0) {
-    // Rates above are conditional on hitting an SDC-reachable block;
-    // the unconditional estimate rescales by the reachable share.
-    const double share = campaign.front().SamplingShare(cc.target);
-    std::cout << "importance sampling: reachable share " << share
-              << ", unconditional SDC estimate " << 100 * share * ci.p
-              << "% +/- " << 100 * share * ci.margin << "%\n";
-  }
-  if (cc.recovery.enabled) {
-    std::cout << "recovered " << counts.recovered << ", reexec "
-              << counts.recovery.retries << ", retired "
-              << counts.recovery.retired_blocks << ", escalations "
-              << counts.recovery.escalations << "\n";
-  }
+  // The summary bytes come from the renderer the daemon also uses
+  // (service/render.h), so `dcrm campaign` and a served campaign
+  // request are bit-identical by construction.
+  const double share = cc.importance_sampling
+                           ? campaign.front().SamplingShare(cc.target)
+                           : 0.0;
+  std::cout << service::RenderCampaignSummary(args.app, args.scheme, cover,
+                                              cc, counts, campaign.jobs(),
+                                              share);
   if (!args.csv_path.empty()) {
     std::ofstream os(args.csv_path);
     if (!os) {
@@ -807,6 +807,72 @@ int CmdShardWorker(const CliArgs& args) {
   return fault::RunShardWorker(MakeShardSpec(args), opts);
 }
 
+int CmdServe(const CliArgs& args) {
+  service::ServerOptions opts;
+  opts.socket_path = args.socket_path;
+  opts.exec.cache_bytes = args.cache_mb * 1024 * 1024;
+  opts.exec.gpu = args.cfg;
+  service::Server server(opts);
+  try {
+    server.Start();
+  } catch (const net::SocketError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return service::kExitBindFailed;
+  }
+  // Announce the socket (flushed): scripts wait for this line before
+  // firing requests.
+  std::cout << "dcrm serve: listening on " << server.socket_path()
+            << std::endl;
+  // Serve until SIGINT/SIGTERM or a `shutdown` request; either way the
+  // drain answers everything already accepted.
+  while (!g_stop.load(std::memory_order_relaxed) &&
+         !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Join();
+  std::cout << "dcrm serve: drained\n";
+  return 0;
+}
+
+int CmdRequest(const CliArgs& args) {
+  const std::optional<service::RequestType> type =
+      service::RequestTypeFromName(args.request_type);
+  if (!type.has_value()) return Usage();
+  const bool needs_app = *type != service::RequestType::kStats &&
+                         *type != service::RequestType::kShutdown;
+  if (needs_app && args.app.empty()) return Usage();
+  service::RequestSpec req;
+  req.type = *type;
+  req.campaign = MakeShardSpec(args);
+  req.importance_sampling = args.importance_sampling;
+  req.engine = args.engine_override;
+  req.trace_path = args.load_trace_path;
+  service::Response resp;
+  try {
+    service::Client client = service::Client::Connect(args.socket_path);
+    resp = client.Call(req);
+  } catch (const net::SocketError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return service::kExitConnectFailed;
+  }
+  if (!resp.error.empty()) std::cerr << resp.error << '\n';
+  std::cout << resp.text;
+  if (!resp.extra.empty()) std::cout << resp.extra << '\n';
+  if (!args.csv_path.empty() && !resp.csv.empty()) {
+    std::ofstream os(args.csv_path);
+    if (!os) {
+      std::cerr << "cannot write " << args.csv_path << '\n';
+      return 1;
+    }
+    os << resp.csv;
+  }
+  // Machine-greppable service-path markers (CI asserts the second pass
+  // of a repeated batch is all cache hits).
+  std::cerr << "dcrm request: served cached=" << (resp.cached ? 1 : 0)
+            << " batched=" << (resp.batched ? 1 : 0) << '\n';
+  return resp.exit_code;
+}
+
 int CmdRecover(CliArgs& args) {
   // The sweep needs a detecting scheme; default to the paper's
   // duplication when none was requested.
@@ -879,6 +945,15 @@ int main(int argc, char** argv) {
       args.app = argv[2];
       i = 3;
     }
+  } else if (args.command == "request") {
+    // dcrm request <type> [<app>] [flags]; stats/shutdown take no app.
+    if (argc < 3 || argv[2][0] == '-') return Usage();
+    args.request_type = argv[2];
+    i = 3;
+    if (argc >= 4 && argv[3][0] != '-') {
+      args.app = argv[3];
+      i = 4;
+    }
   }
   try {
     for (; i < argc; ++i) {
@@ -890,7 +965,7 @@ int main(int argc, char** argv) {
     // Long-running commands drain at the next checkpointable boundary
     // on SIGINT/SIGTERM instead of dying mid-trial.
     if (args.command == "campaign" || args.command == "shard" ||
-        args.command == "shard-worker") {
+        args.command == "shard-worker" || args.command == "serve") {
       InstallStopHandler();
     }
     if (args.command == "apps") return CmdApps();
@@ -903,6 +978,8 @@ int main(int argc, char** argv) {
     if (args.command == "avf") return CmdAvf(args);
     if (args.command == "shard") return CmdShard(args, argv[0]);
     if (args.command == "shard-worker") return CmdShardWorker(args);
+    if (args.command == "serve") return CmdServe(args);
+    if (args.command == "request") return CmdRequest(args);
   } catch (const analysis::UnsoundPlanError& e) {
     // The campaign-launch gate refused an uncertifiable plan. Print
     // the full report so the misconfiguration is diagnosable, and exit
