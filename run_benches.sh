@@ -35,6 +35,10 @@ run_tee results_importance_sampling.txt $B/bench_importance_sampling \
   --runs=400 --jobs=4 --json=BENCH_importance_sampling.json
 run_tee results_trace_replay.txt $B/bench_trace_replay --scale=small \
   --runs=200 --json=BENCH_sim_throughput.json
+# Kernel-graph DAG workloads: exits nonzero if a shared weight tensor's
+# cross-kernel read total fails to rank above its single-kernel view.
+run_tee results_kernel_graph.txt $B/bench_kernel_graph --runs=40 \
+  --json=BENCH_kernel_graph.json
 # Committed results_shard_campaign.txt is this bench at its default
 # 10^6 trials (`$B/bench_shard_campaign | tee results_shard_campaign.txt`,
 # ~10 min); the sweep runs a wall-clock-friendly count.

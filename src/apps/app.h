@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/kernel.h"
+#include "exec/kernel_graph.h"
 #include "exec/launcher.h"
 #include "mem/device_memory.h"
 
@@ -32,8 +33,18 @@ class App {
   // device; campaign re-runs restore the store snapshot instead.
   virtual void Setup(mem::DeviceMemory& dev) = 0;
 
-  // Kernel launches in program order. Valid after Setup().
+  // Kernel launches in program order. Valid after Setup(). For
+  // graph-declared apps this is the deterministic topological
+  // linearization of Graph() (see GraphKernels).
   virtual std::vector<KernelLaunch> Kernels() = 0;
+
+  // Kernel-graph declaration: nodes with object read/write sets,
+  // edges as data dependencies. The default is the compatibility shim
+  // — a single chain over Kernels() linked by ordering-only edges —
+  // which executes in exactly the legacy order, so list-style apps
+  // migrate without any trace/golden/fingerprint change. Multi-kernel
+  // DAG apps override this and derive Kernels() from it instead.
+  virtual exec::KernelGraph Graph();
 
   // Names of the output data objects, in comparison order.
   virtual std::vector<std::string> OutputObjects() const = 0;
@@ -52,9 +63,14 @@ class App {
   virtual std::uint32_t AluCyclesPerMem() const { return 8; }
 };
 
-// Runs all kernels functionally. Exceptions (DetectionTerminated,
-// DueError) propagate to the caller.
+// Runs all kernels functionally, in the graph's deterministic
+// topological order. Exceptions (DetectionTerminated, DueError)
+// propagate to the caller.
 void RunKernels(App& app, exec::DataPlane& plane, exec::AccessSink* sink);
+
+// Flattens a kernel graph into the legacy launch-list form, in
+// TopoOrder() — how graph-declared apps implement Kernels().
+std::vector<KernelLaunch> GraphKernels(exec::KernelGraph graph);
 
 // Reads the app's output objects (through the faulty read path) into
 // one float vector.

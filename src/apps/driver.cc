@@ -1,5 +1,9 @@
 #include "apps/driver.h"
 
+#include <algorithm>
+#include <tuple>
+
+#include "exec/kernel_graph.h"
 #include "exec/launcher.h"
 #include "trace/trace_builder.h"
 
@@ -112,26 +116,46 @@ ProfileResult ProfileApp(App& app, const sim::GpuConfig& cfg,
   app.Setup(*out.dev);
   out.profiler.AttachSpace(&out.dev->space());
   exec::DirectDataPlane plane(*out.dev);
+  // Walk the app's kernel graph in its deterministic topological order
+  // (identical to the legacy list order for chain-shimmed apps), so
+  // traces carry graph node ids and the store records data edges.
+  exec::KernelGraph graph = app.Graph();
+  const std::vector<std::uint32_t> order = graph.TopoOrder();
+  std::vector<std::uint32_t> kernel_of(graph.NumNodes(), 0);
   std::vector<trace::KernelTrace> traces;
-  for (auto& k : app.Kernels()) {
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::uint32_t id = order[idx];
+    exec::GraphNode& node = graph.Node(id);
+    kernel_of[id] = static_cast<std::uint32_t>(idx);
     trace::TraceBuilder builder;
-    out.profiler.BeginKernel(k.cfg);
+    out.profiler.BeginKernel(node.cfg);
     // With a preloaded store the trace-building tee is skipped — the
     // functional pass still feeds the profiler and the device state.
     if (preloaded != nullptr) {
-      exec::LaunchKernel(k.cfg, plane, &out.profiler, k.body);
+      exec::LaunchKernel(node.cfg, plane, &out.profiler, node.body);
       out.profiler.EndKernel();
       continue;
     }
     TeeSink tee(out.profiler, builder);
-    exec::LaunchKernel(k.cfg, plane, &tee, k.body);
+    exec::LaunchKernel(node.cfg, plane, &tee, node.body);
     out.profiler.EndKernel();
-    traces.push_back(builder.Build(k.cfg));
-    traces.back().name = k.name;
+    traces.push_back(builder.Build(node.cfg));
+    traces.back().name = node.name;
+    traces.back().node = id;
   }
+  std::vector<trace::TraceStore::TraceEdge> edges;
+  for (const exec::GraphEdge& e : graph.DataEdges()) {
+    edges.push_back(trace::TraceStore::TraceEdge{
+        kernel_of[e.producer], kernel_of[e.consumer], e.object});
+  }
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.producer, a.consumer, a.object) <
+           std::tie(b.producer, b.consumer, b.object);
+  });
   out.trace_store = preloaded != nullptr
                         ? std::move(preloaded)
-                        : trace::BuildStore(std::move(traces));
+                        : trace::BuildStore(std::move(traces),
+                                            std::move(edges));
   // Miss profile from a baseline run of the cycle-level simulator:
   // with warps desynchronized by real memory latencies, hot blocks
   // miss roughly in proportion to their (huge) access counts whenever

@@ -1,0 +1,138 @@
+#include "apps/mlp.h"
+
+#include "apps/synth.h"
+#include "metrics/error_metric.h"
+
+namespace dcrm::apps {
+namespace {
+// Static load/store site ids ("PCs"), mirroring the PTX analysis.
+enum : Pc {
+  kLdX = 1,
+  kLdW1 = 2,
+  kStH = 3,
+  kLdH = 4,
+  kLdW2 = 5,
+  kStY = 6,
+};
+constexpr std::uint32_t kCta = 64;
+
+exec::LaunchConfig Cfg1D(std::uint32_t threads) {
+  exec::LaunchConfig cfg;
+  cfg.grid = {(threads + kCta - 1) / kCta, 1, 1};
+  cfg.block = {kCta, 1, 1};
+  return cfg;
+}
+}  // namespace
+
+void Mlp2App::Setup(mem::DeviceMemory& dev) {
+  auto& sp = dev.space();
+  const std::uint32_t half = batch_ / 2;
+  const std::uint32_t rest = batch_ - half;
+  x_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("X", std::uint64_t{batch_} * in_ * 4, true))
+          .base);
+  w1_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("W1", std::uint64_t{in_} * hidden_ * 4, true))
+          .base);
+  w2_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("W2", std::uint64_t{hidden_} * out_ * 4, true))
+          .base);
+  h0_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("h0", std::uint64_t{half} * hidden_ * 4, false))
+          .base);
+  h1_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("h1", std::uint64_t{rest} * hidden_ * 4, false))
+          .base);
+  y_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("Y", std::uint64_t{batch_} * out_ * 4, false))
+          .base);
+  FillUniform(dev, x_.base(), std::uint64_t{batch_} * in_, -1.0f, 1.0f, 31);
+  FillUniform(dev, w1_.base(), std::uint64_t{in_} * hidden_, -0.5f, 0.5f,
+              32);
+  FillUniform(dev, w2_.base(), std::uint64_t{hidden_} * out_, -0.5f, 0.5f,
+              33);
+  FillConst(dev, h0_.base(), std::uint64_t{half} * hidden_, 0.0f);
+  FillConst(dev, h1_.base(), std::uint64_t{rest} * hidden_, 0.0f);
+  FillConst(dev, y_.base(), std::uint64_t{batch_} * out_, 0.0f);
+}
+
+exec::KernelGraph Mlp2App::Graph() {
+  const std::uint32_t in = in_;
+  const std::uint32_t hidden = hidden_;
+  const std::uint32_t out_dim = out_;
+  const std::uint32_t half = batch_ / 2;
+  const auto x = x_;
+  const auto w1 = w1_;
+  const auto w2 = w2_;
+  const auto y = y_;
+
+  exec::KernelGraph g;
+  const struct Chunk {
+    std::uint32_t row0;
+    std::uint32_t rows;
+    const char* hname;
+    exec::ArrayRef<float> h;
+  } chunks[2] = {{0, half, "h0", h0_},
+                 {half, batch_ - half, "h1", h1_}};
+
+  for (const Chunk& c : chunks) {
+    const std::uint32_t row0 = c.row0;
+    const std::uint32_t rows = c.rows;
+    const auto h = c.h;
+    exec::GraphNode fc1;
+    fc1.name = "fc1";
+    fc1.cfg = Cfg1D(rows * hidden);
+    fc1.reads = {"X", "W1"};
+    fc1.writes = {c.hname};
+    fc1.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t t =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (t >= rows * hidden) return;
+      const std::uint32_t r = t / hidden;
+      const std::uint32_t j = t % hidden;
+      float acc = 0.0f;
+      for (std::uint32_t e = 0; e < in; ++e) {
+        acc += x.Ld(tc, kLdX, std::uint64_t{row0 + r} * in + e) *
+               w1.Ld(tc, kLdW1, std::uint64_t{e} * hidden + j);
+      }
+      h.St(tc, kStH, std::uint64_t{r} * hidden + j,
+           acc > 0.0f ? acc : 0.0f);  // fused ReLU
+    };
+    g.AddNode(std::move(fc1));
+  }
+
+  for (const Chunk& c : chunks) {
+    const std::uint32_t row0 = c.row0;
+    const std::uint32_t rows = c.rows;
+    const auto h = c.h;
+    exec::GraphNode fc2;
+    fc2.name = "fc2";
+    fc2.cfg = Cfg1D(rows * out_dim);
+    fc2.reads = {c.hname, "W2"};
+    fc2.writes = {"Y"};
+    fc2.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t t =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (t >= rows * out_dim) return;
+      const std::uint32_t r = t / out_dim;
+      const std::uint32_t j = t % out_dim;
+      float acc = 0.0f;
+      for (std::uint32_t e = 0; e < hidden; ++e) {
+        acc += h.Ld(tc, kLdH, std::uint64_t{r} * hidden + e) *
+               w2.Ld(tc, kLdW2, std::uint64_t{e} * out_dim + j);
+      }
+      y.St(tc, kStY, std::uint64_t{row0 + r} * out_dim + j, acc);
+    };
+    g.AddNode(std::move(fc2));
+  }
+
+  g.ConnectByObjects();
+  return g;
+}
+
+double Mlp2App::OutputError(std::span<const float> golden,
+                            std::span<const float> observed) const {
+  return metrics::VectorDiffFractionRel(golden, observed, 1e-6, 1e-6);
+}
+
+}  // namespace dcrm::apps

@@ -10,9 +10,11 @@
 #include "apps/gramschmidt.h"
 #include "apps/histogram.h"
 #include "apps/image_filters.h"
+#include "apps/mlp.h"
 #include "apps/mvt.h"
 #include "apps/nn.h"
 #include "apps/srad.h"
+#include "apps/transformer.h"
 
 namespace dcrm::apps {
 
@@ -77,6 +79,21 @@ std::unique_ptr<App> MakeApp(std::string_view name, AppScale scale) {
     static constexpr std::uint32_t k[] = {24, 32, 64};
     return std::make_unique<GramSchmidtApp>(n[s], k[s]);
   }
+  if (name == "L-Transformer" || name == "transformer") {
+    // (sequence length, model dim). Even tiny keeps enough rows for
+    // two GEMM chunks and a few warps per launch.
+    static constexpr std::uint32_t seq[] = {16, 32, 64};
+    static constexpr std::uint32_t dim[] = {16, 32, 48};
+    return std::make_unique<TransformerApp>(seq[s], dim[s]);
+  }
+  if (name == "L-MLP2" || name == "mlp2") {
+    // (batch, input dim, hidden dim, output dim).
+    static constexpr std::uint32_t n[] = {16, 32, 64};
+    static constexpr std::uint32_t i[] = {24, 32, 48};
+    static constexpr std::uint32_t h[] = {24, 32, 48};
+    static constexpr std::uint32_t o[] = {12, 16, 24};
+    return std::make_unique<Mlp2App>(n[s], i[s], h[s], o[s]);
+  }
   throw std::invalid_argument("unknown application: " + std::string(name));
 }
 
@@ -98,12 +115,17 @@ const std::vector<std::string>& HotPatternAppNames() {
   return names;
 }
 
+const std::vector<std::string>& GraphAppNames() {
+  static const std::vector<std::string> names = {"L-Transformer", "L-MLP2"};
+  return names;
+}
+
 const std::vector<std::string>& AllAppNames() {
   static const std::vector<std::string> names = {
       "C-NN",        "P-BICG",       "P-GESUMMV", "P-MVT",
       "A-Laplacian", "A-Meanfilter", "A-Sobel",   "A-SRAD",
       "P-ATAX",      "C-ConvRows",   "C-Histogram",
-      "C-BlackScholes", "P-GRAMSCHM"};
+      "C-BlackScholes", "P-GRAMSCHM", "L-Transformer", "L-MLP2"};
   return names;
 }
 

@@ -29,8 +29,13 @@ const std::vector<std::string>& PaperAppNames();
 // (P-ATAX, C-ConvRows).
 const std::vector<std::string>& HotPatternAppNames();
 
-// All ten studied applications (adds the two Fig. 3(g)-(h)
-// counterexamples, C-BlackScholes and P-GRAMSCHM).
+// The multi-kernel DAG workloads (transformer encoder block, 2-layer
+// MLP) — the apps whose Graph() is not a single chain.
+const std::vector<std::string>& GraphAppNames();
+
+// Every registered application: the ten studied ones, the two
+// Fig. 3(g)-(h) counterexamples (C-BlackScholes, P-GRAMSCHM), and the
+// kernel-graph workloads.
 const std::vector<std::string>& AllAppNames();
 
 }  // namespace dcrm::apps

@@ -1,0 +1,291 @@
+#include "apps/transformer.h"
+
+#include <cmath>
+
+#include "apps/synth.h"
+#include "metrics/error_metric.h"
+
+namespace dcrm::apps {
+namespace {
+// Static load/store site ids ("PCs"), mirroring the PTX analysis.
+enum : Pc {
+  kLdXGemm = 1,
+  kLdW = 2,
+  kStQkv = 3,
+  kLdQ = 4,
+  kLdK = 5,
+  kStScore = 6,
+  kLdScore = 7,
+  kStProb = 8,
+  kLdProb = 9,
+  kLdV = 10,
+  kStCtx = 11,
+  kLdCtx = 12,
+  kLdWo = 13,
+  kStAttnOut = 14,
+  kLdAttnOut = 15,
+  kLdXLn = 16,
+  kLdGamma = 17,
+  kLdBeta = 18,
+  kStY = 19,
+};
+constexpr std::uint32_t kCta = 64;
+
+exec::LaunchConfig Cfg1D(std::uint32_t threads) {
+  exec::LaunchConfig cfg;
+  cfg.grid = {(threads + kCta - 1) / kCta, 1, 1};
+  cfg.block = {kCta, 1, 1};
+  return cfg;
+}
+}  // namespace
+
+void TransformerApp::Setup(mem::DeviceMemory& dev) {
+  auto& sp = dev.space();
+  const std::uint64_t sd = std::uint64_t{seq_} * dim_ * 4;
+  const std::uint64_t dd = std::uint64_t{dim_} * dim_ * 4;
+  const std::uint64_t ss = std::uint64_t{seq_} * seq_ * 4;
+  x_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("X", sd, true)).base);
+  wq_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("Wq", dd, true)).base);
+  wk_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("Wk", dd, true)).base);
+  wv_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("Wv", dd, true)).base);
+  wo_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("Wo", dd, true)).base);
+  gamma_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("ln_gamma", dim_ * 4, true)).base);
+  beta_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("ln_beta", dim_ * 4, true)).base);
+  q_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("Q", sd, false)).base);
+  k_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("K", sd, false)).base);
+  v_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("V", sd, false)).base);
+  scores_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("scores", ss, false)).base);
+  probs_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("probs", ss, false)).base);
+  ctx_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("ctx", sd, false)).base);
+  attn_out_ = exec::ArrayRef<float>(
+      sp.Object(sp.Allocate("attn_out", sd, false)).base);
+  y_ = exec::ArrayRef<float>(sp.Object(sp.Allocate("Y", sd, false)).base);
+
+  const std::uint64_t sd_n = std::uint64_t{seq_} * dim_;
+  const std::uint64_t dd_n = std::uint64_t{dim_} * dim_;
+  FillUniform(dev, x_.base(), sd_n, -1.0f, 1.0f, 21);
+  FillUniform(dev, wq_.base(), dd_n, -0.5f, 0.5f, 22);
+  FillUniform(dev, wk_.base(), dd_n, -0.5f, 0.5f, 23);
+  FillUniform(dev, wv_.base(), dd_n, -0.5f, 0.5f, 24);
+  FillUniform(dev, wo_.base(), dd_n, -0.5f, 0.5f, 25);
+  FillUniform(dev, gamma_.base(), dim_, 0.5f, 1.5f, 26);
+  FillUniform(dev, beta_.base(), dim_, -0.1f, 0.1f, 27);
+  FillConst(dev, q_.base(), sd_n, 0.0f);
+  FillConst(dev, k_.base(), sd_n, 0.0f);
+  FillConst(dev, v_.base(), sd_n, 0.0f);
+  FillConst(dev, scores_.base(), std::uint64_t{seq_} * seq_, 0.0f);
+  FillConst(dev, probs_.base(), std::uint64_t{seq_} * seq_, 0.0f);
+  FillConst(dev, ctx_.base(), sd_n, 0.0f);
+  FillConst(dev, attn_out_.base(), sd_n, 0.0f);
+  FillConst(dev, y_.base(), sd_n, 0.0f);
+}
+
+exec::KernelGraph TransformerApp::Graph() {
+  const std::uint32_t seq = seq_;
+  const std::uint32_t dim = dim_;
+  const auto x = x_;
+  const auto gamma = gamma_;
+  const auto beta = beta_;
+  const auto q = q_;
+  const auto k = k_;
+  const auto v = v_;
+  const auto scores = scores_;
+  const auto probs = probs_;
+  const auto ctx = ctx_;
+  const auto attn_out = attn_out_;
+  const auto y = y_;
+
+  exec::KernelGraph g;
+
+  // Chunked QKV projections: two row-halves per projection, all six
+  // launches sharing one name — the repeated-kernel case the
+  // node-keyed stats exist for.
+  struct Proj {
+    const char* weight;
+    const char* out_name;
+    exec::ArrayRef<float> w;
+    exec::ArrayRef<float> out;
+  };
+  const Proj projs[3] = {{"Wq", "Q", wq_, q_},
+                         {"Wk", "K", wk_, k_},
+                         {"Wv", "V", wv_, v_}};
+  const std::uint32_t half = seq / 2;
+  for (const Proj& p : projs) {
+    for (std::uint32_t c = 0; c < 2; ++c) {
+      const std::uint32_t row0 = c * half;
+      const std::uint32_t rows = c == 0 ? half : seq - half;
+      const auto w = p.w;
+      const auto out = p.out;
+      exec::GraphNode node;
+      node.name = "qkv_gemm";
+      node.cfg = Cfg1D(rows * dim);
+      node.reads = {"X", p.weight};
+      node.writes = {p.out_name};
+      node.body = [=](exec::ThreadCtx& tc) {
+        const std::uint32_t t =
+            tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+        if (t >= rows * dim) return;
+        const std::uint32_t i = row0 + t / dim;
+        const std::uint32_t d = t % dim;
+        float acc = 0.0f;
+        for (std::uint32_t e = 0; e < dim; ++e) {
+          acc += x.Ld(tc, kLdXGemm, std::uint64_t{i} * dim + e) *
+                 w.Ld(tc, kLdW, std::uint64_t{e} * dim + d);
+        }
+        out.St(tc, kStQkv, std::uint64_t{i} * dim + d, acc);
+      };
+      g.AddNode(std::move(node));
+    }
+  }
+
+  {
+    exec::GraphNode node;
+    node.name = "attn_score";
+    node.cfg = Cfg1D(seq * seq);
+    node.reads = {"Q", "K"};
+    node.writes = {"scores"};
+    node.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t t =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (t >= seq * seq) return;
+      const std::uint32_t i = t / seq;
+      const std::uint32_t j = t % seq;
+      float acc = 0.0f;
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        acc += q.Ld(tc, kLdQ, std::uint64_t{i} * dim + d) *
+               k.Ld(tc, kLdK, std::uint64_t{j} * dim + d);
+      }
+      scores.St(tc, kStScore, std::uint64_t{i} * seq + j,
+                acc / std::sqrt(static_cast<float>(dim)));
+    };
+    g.AddNode(std::move(node));
+  }
+
+  {
+    exec::GraphNode node;
+    node.name = "softmax";
+    node.cfg = Cfg1D(seq);
+    node.reads = {"scores"};
+    node.writes = {"probs"};
+    node.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t i =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (i >= seq) return;
+      float m = -1e30f;
+      for (std::uint32_t j = 0; j < seq; ++j) {
+        const float s = scores.Ld(tc, kLdScore, std::uint64_t{i} * seq + j);
+        if (s > m) m = s;
+      }
+      float sum = 0.0f;
+      for (std::uint32_t j = 0; j < seq; ++j) {
+        sum += std::exp(scores.Ld(tc, kLdScore, std::uint64_t{i} * seq + j) -
+                        m);
+      }
+      for (std::uint32_t j = 0; j < seq; ++j) {
+        const float e = std::exp(
+            scores.Ld(tc, kLdScore, std::uint64_t{i} * seq + j) - m);
+        probs.St(tc, kStProb, std::uint64_t{i} * seq + j, e / sum);
+      }
+    };
+    g.AddNode(std::move(node));
+  }
+
+  {
+    exec::GraphNode node;
+    node.name = "attn_ctx";
+    node.cfg = Cfg1D(seq * dim);
+    node.reads = {"probs", "V"};
+    node.writes = {"ctx"};
+    node.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t t =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (t >= seq * dim) return;
+      const std::uint32_t i = t / dim;
+      const std::uint32_t d = t % dim;
+      float acc = 0.0f;
+      for (std::uint32_t j = 0; j < seq; ++j) {
+        acc += probs.Ld(tc, kLdProb, std::uint64_t{i} * seq + j) *
+               v.Ld(tc, kLdV, std::uint64_t{j} * dim + d);
+      }
+      ctx.St(tc, kStCtx, std::uint64_t{i} * dim + d, acc);
+    };
+    g.AddNode(std::move(node));
+  }
+
+  {
+    const auto wo = wo_;
+    exec::GraphNode node;
+    node.name = "out_proj";
+    node.cfg = Cfg1D(seq * dim);
+    node.reads = {"ctx", "Wo"};
+    node.writes = {"attn_out"};
+    node.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t t =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (t >= seq * dim) return;
+      const std::uint32_t i = t / dim;
+      const std::uint32_t d = t % dim;
+      float acc = 0.0f;
+      for (std::uint32_t e = 0; e < dim; ++e) {
+        acc += ctx.Ld(tc, kLdCtx, std::uint64_t{i} * dim + e) *
+               wo.Ld(tc, kLdWo, std::uint64_t{e} * dim + d);
+      }
+      attn_out.St(tc, kStAttnOut, std::uint64_t{i} * dim + d, acc);
+    };
+    g.AddNode(std::move(node));
+  }
+
+  {
+    exec::GraphNode node;
+    node.name = "layernorm";
+    node.cfg = Cfg1D(seq);
+    node.reads = {"attn_out", "X", "ln_gamma", "ln_beta"};
+    node.writes = {"Y"};
+    node.body = [=](exec::ThreadCtx& tc) {
+      const std::uint32_t i =
+          tc.blockIdx().x * tc.blockDim().x + tc.threadIdx().x;
+      if (i >= seq) return;
+      // Residual add + layernorm, two passes over the row (the second
+      // re-reads attn_out and X rather than caching — thread-private
+      // buffers are not part of the access model).
+      float mean = 0.0f;
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        mean += attn_out.Ld(tc, kLdAttnOut, std::uint64_t{i} * dim + d) +
+                x.Ld(tc, kLdXLn, std::uint64_t{i} * dim + d);
+      }
+      mean /= static_cast<float>(dim);
+      float var = 0.0f;
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        const float h =
+            attn_out.Ld(tc, kLdAttnOut, std::uint64_t{i} * dim + d) +
+            x.Ld(tc, kLdXLn, std::uint64_t{i} * dim + d);
+        var += (h - mean) * (h - mean);
+      }
+      var /= static_cast<float>(dim);
+      const float inv = 1.0f / std::sqrt(var + 1e-5f);
+      for (std::uint32_t d = 0; d < dim; ++d) {
+        const float h =
+            attn_out.Ld(tc, kLdAttnOut, std::uint64_t{i} * dim + d) +
+            x.Ld(tc, kLdXLn, std::uint64_t{i} * dim + d);
+        y.St(tc, kStY, std::uint64_t{i} * dim + d,
+             gamma.Ld(tc, kLdGamma, d) * (h - mean) * inv +
+                 beta.Ld(tc, kLdBeta, d));
+      }
+    };
+    g.AddNode(std::move(node));
+  }
+
+  g.ConnectByObjects();
+  return g;
+}
+
+double TransformerApp::OutputError(std::span<const float> golden,
+                                   std::span<const float> observed) const {
+  return metrics::VectorDiffFractionRel(golden, observed, 1e-6, 1e-6);
+}
+
+}  // namespace dcrm::apps

@@ -27,6 +27,7 @@ void AccessProfiler::EndKernel() {
     bp.warp_share = std::max(bp.warp_share, share);
   }
   epoch_warps_.clear();
+  ++kernel_epoch_;
 }
 
 void AccessProfiler::OnAccess(const exec::ThreadCoord& who,
@@ -46,17 +47,25 @@ void AccessProfiler::OnAccess(const exec::ThreadCoord& who,
     auto& ps = pcs_[what.pc];
     ++ps.accesses;
     // Fast path: a static load site nearly always touches one object.
+    mem::ObjectId id = mem::kInvalidObject;
     if (const auto it = pc_last_owner_.find(what.pc);
         it != pc_last_owner_.end() &&
         it->second != mem::kInvalidObject &&
         space_->Object(it->second).Contains(what.addr)) {
-      ++ps.per_object[it->second];
-      return;
+      id = it->second;
+    } else {
+      id = space_->OwnerOf(what.addr).value_or(mem::kInvalidObject);
+      pc_last_owner_[what.pc] = id;
     }
-    const auto owner = space_->OwnerOf(what.addr);
-    const mem::ObjectId id = owner.value_or(mem::kInvalidObject);
-    pc_last_owner_[what.pc] = id;
     ++ps.per_object[id];
+    if (what.type == AccessType::kLoad && in_kernel_ &&
+        id != mem::kInvalidObject) {
+      auto& per_kernel = obj_kernel_reads_[id];
+      if (per_kernel.size() <= kernel_epoch_) {
+        per_kernel.resize(kernel_epoch_ + 1, 0);
+      }
+      ++per_kernel[kernel_epoch_];
+    }
   }
 }
 
@@ -156,6 +165,14 @@ std::vector<ObjectProfile> AggregateByObject(const AccessProfiler& prof,
                   static_cast<double>(op.num_blocks);
     op.mean_warp_share =
         touched == 0 ? 0.0 : share_sum / static_cast<double>(touched);
+    if (const auto kit = prof.object_kernel_reads().find(obj.id);
+        kit != prof.object_kernel_reads().end()) {
+      for (const std::uint64_t n : kit->second) {
+        if (n == 0) continue;
+        ++op.kernels_reading;
+        op.max_kernel_reads = std::max(op.max_kernel_reads, n);
+      }
+    }
     out.push_back(std::move(op));
   }
   // Table III order: per-block read intensity, highest first. (Total

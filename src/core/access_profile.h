@@ -69,6 +69,15 @@ class AccessProfiler final : public exec::AccessSink {
   const std::unordered_map<std::uint64_t, BlockProfile>& blocks() const {
     return blocks_;
   }
+  // Thread-level read counts per object, split by kernel epoch (the
+  // i-th entry is reads during the i-th BeginKernel/EndKernel
+  // bracket). Needs AttachSpace; feeds the cross-kernel hotness view
+  // (ObjectProfile::kernels_reading / max_kernel_reads). Not persisted
+  // by profile_io — restored profiles recompute it by re-profiling.
+  const std::unordered_map<mem::ObjectId, std::vector<std::uint64_t>>&
+  object_kernel_reads() const {
+    return obj_kernel_reads_;
+  }
   std::uint64_t TotalReads() const { return total_reads_; }
   std::uint64_t TotalAccesses() const { return total_reads_ + total_writes_; }
 
@@ -103,6 +112,10 @@ class AccessProfiler final : public exec::AccessSink {
   std::map<Pc, PcStats> pcs_;
   // Fast path for attribution: a PC almost always touches one object.
   std::unordered_map<Pc, mem::ObjectId> pc_last_owner_;
+  // Index of the current kernel epoch; advanced by EndKernel.
+  std::uint32_t kernel_epoch_ = 0;
+  std::unordered_map<mem::ObjectId, std::vector<std::uint64_t>>
+      obj_kernel_reads_;
 };
 
 // Per-object aggregation (Table III rows).
@@ -117,6 +130,14 @@ struct ObjectProfile {
   double reads_per_block = 0.0;       // hotness intensity
   double mean_warp_share = 0.0;       // mean over the object's blocks
   std::uint64_t l1_misses = 0;
+  // Cross-kernel view: how many kernel launches read this object, and
+  // the largest single-launch read count. A shared weight tensor in a
+  // multi-kernel graph shows kernels_reading > 1 with total reads well
+  // above max_kernel_reads — hotness no per-launch profile would rank
+  // as high. Zero when the profiler had no attached space (or the
+  // profile was restored from disk).
+  std::uint32_t kernels_reading = 0;
+  std::uint64_t max_kernel_reads = 0;
 };
 
 // Aggregates the block profile over the named data objects, sorted by

@@ -1,0 +1,156 @@
+#include "exec/kernel_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace dcrm::exec {
+
+namespace {
+
+[[noreturn]] void Bad(const std::string& what) {
+  throw std::invalid_argument("KernelGraph: " + what);
+}
+
+bool Declares(const std::vector<std::string>& set, const std::string& name) {
+  return std::find(set.begin(), set.end(), name) != set.end();
+}
+
+std::string NodeLabel(const KernelGraph& g, std::uint32_t id) {
+  return "node " + std::to_string(id) + " (" + g.Node(id).name + ")";
+}
+
+}  // namespace
+
+std::uint32_t KernelGraph::AddNode(GraphNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void KernelGraph::AddEdge(std::uint32_t producer, std::uint32_t consumer,
+                          std::string object) {
+  if (producer >= nodes_.size() || consumer >= nodes_.size()) {
+    Bad("edge endpoint out of range");
+  }
+  if (producer == consumer) Bad("self-edge on " + NodeLabel(*this, producer));
+  const GraphEdge edge{producer, consumer, std::move(object)};
+  if (std::find(edges_.begin(), edges_.end(), edge) != edges_.end()) return;
+  edges_.push_back(edge);
+}
+
+void KernelGraph::ConnectByObjects() {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::string& obj : nodes_[i].reads) {
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (Declares(nodes_[j].writes, obj)) AddEdge(j, i, obj);
+      }
+    }
+    // Hazard edges keep non-SSA graphs sequentially consistent with
+    // insertion order: a later writer of an object runs after every
+    // earlier writer (WAW) and every earlier reader (WAR) of it.
+    for (const std::string& obj : nodes_[i].writes) {
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (Declares(nodes_[j].writes, obj) ||
+            Declares(nodes_[j].reads, obj)) {
+          AddEdge(j, i);
+        }
+      }
+    }
+  }
+}
+
+void KernelGraph::Validate() const {
+  const std::uint32_t n = NumNodes();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const GraphEdge& e : edges_) {
+    if (e.producer >= n || e.consumer >= n) Bad("edge endpoint out of range");
+    if (e.producer == e.consumer) {
+      Bad("self-edge on " + NodeLabel(*this, e.producer));
+    }
+    if (!e.object.empty()) {
+      if (!Declares(nodes_[e.producer].writes, e.object)) {
+        Bad("missing producer: edge object '" + e.object +
+            "' is not written by " + NodeLabel(*this, e.producer));
+      }
+      if (!Declares(nodes_[e.consumer].reads, e.object)) {
+        Bad("dangling consumer: edge object '" + e.object +
+            "' is not read by " + NodeLabel(*this, e.consumer));
+      }
+    }
+    ++indegree[e.consumer];
+  }
+  // Kahn reachability: if some node never becomes ready, the leftover
+  // subgraph contains a cycle.
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::uint32_t done = 0;
+  while (!ready.empty()) {
+    const std::uint32_t id = ready.front();
+    ready.pop();
+    ++done;
+    for (const GraphEdge& e : edges_) {
+      if (e.producer == id && --indegree[e.consumer] == 0) {
+        ready.push(e.consumer);
+      }
+    }
+  }
+  if (done != n) Bad("dependency cycle");
+}
+
+std::vector<std::uint32_t> KernelGraph::TopoOrder() const {
+  Validate();
+  const std::uint32_t n = NumNodes();
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  for (const GraphEdge& e : edges_) {
+    succ[e.producer].push_back(e.consumer);
+    ++indegree[e.consumer];
+  }
+  // Smallest-ready-id tie-break makes the schedule a pure function of
+  // the graph; a program-order chain comes out in insertion order.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::uint32_t id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (const std::uint32_t next : succ[id]) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  return order;
+}
+
+std::vector<GraphEdge> KernelGraph::DataEdges() const {
+  std::vector<GraphEdge> out;
+  for (const GraphEdge& e : edges_) {
+    if (!e.object.empty()) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GraphEdge& a, const GraphEdge& b) {
+              if (a.producer != b.producer) return a.producer < b.producer;
+              if (a.consumer != b.consumer) return a.consumer < b.consumer;
+              return a.object < b.object;
+            });
+  return out;
+}
+
+std::vector<std::uint32_t> RunGraph(KernelGraph& graph, DataPlane& plane,
+                                    AccessSink* sink) {
+  const std::vector<std::uint32_t> order = graph.TopoOrder();
+  for (const std::uint32_t id : order) {
+    GraphNode& node = graph.Node(id);
+    LaunchKernel(node.cfg, plane, sink, node.body);
+  }
+  return order;
+}
+
+}  // namespace dcrm::exec

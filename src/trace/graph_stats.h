@@ -1,0 +1,43 @@
+// Kernel-graph statistics over a trace store: per-edge data reuse.
+//
+// A store built from a DAG app carries producer → consumer data edges
+// (TraceStore::Columns::edges). For each edge this module measures how
+// many 128B transaction blocks the consumer actually re-reads of what
+// the producer wrote — the inter-kernel working set that motivates
+// cross-kernel (rather than per-launch) protection decisions.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_store.h"
+
+namespace dcrm::trace {
+
+// One data edge with its measured reuse. `reused_blocks` is the size
+// of the intersection between the producer's stored block set and the
+// consumer's loaded block set; `reused_bytes` is that times the 128B
+// block size. Labels follow KernelStatsLabel.
+struct EdgeReuse {
+  std::uint32_t producer = 0;
+  std::uint32_t consumer = 0;
+  std::string producer_label;
+  std::string consumer_label;
+  std::string object;
+  std::uint64_t reused_blocks = 0;
+  std::uint64_t reused_bytes = 0;
+};
+
+// Reuse for every edge in the store, in the columns' (producer,
+// consumer, object) sort order. Empty for edge-free (legacy) stores.
+std::vector<EdgeReuse> ComputeEdgeReuse(const TraceStore& store);
+
+// Human-readable topology + reuse dump (`dcrm profile APP --graph`).
+void WriteGraphText(const TraceStore& store, std::ostream& os);
+
+// CSV header: producer,consumer,object,reused_blocks,reused_bytes
+void WriteGraphCsv(const TraceStore& store, std::ostream& os);
+
+}  // namespace dcrm::trace

@@ -32,11 +32,19 @@ struct WarpTrace {
   std::vector<WarpMemInst> insts;
 };
 
+// Sentinel for KernelTrace::node: "no graph node assigned"; BuildStore
+// substitutes the kernel's index, which is what every chain-shimmed
+// launch list gets.
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
 struct KernelTrace {
   // Launch name (e.g. "bicg_kernel1"), carried so downstream consumers
   // — the static analyzer in particular — can attribute findings to a
   // kernel. Empty for hand-built traces.
   std::string name;
+  // Kernel-graph node id of the launch (repeated launch names stay
+  // distinguishable by it). kNoNode for hand-built or legacy traces.
+  std::uint32_t node = kNoNode;
   exec::LaunchConfig cfg;
   std::vector<WarpTrace> warps;  // sorted by warp id
 

@@ -16,7 +16,21 @@ namespace {
 
 constexpr char kMagic[8] = {'d', 'c', 'r', 'm', 't', 'r', 'c', '\n'};
 constexpr std::uint32_t kVersion = 1;
+// Version 2 adds graph metadata: a per-kernel node id and a trailing
+// producer/consumer edge section. It is written only when the store
+// actually carries nontrivial metadata, so every chain-shimmed legacy
+// app keeps emitting byte-identical version-1 artifacts (and their
+// campaign fingerprints hold).
+constexpr std::uint32_t kVersionGraph = 2;
 constexpr const char* kContext = "trace file";
+
+bool HasGraphMeta(const TraceStore::Columns& c) {
+  if (!c.edges.empty()) return true;
+  for (std::size_t k = 0; k < c.kernels.size(); ++k) {
+    if (c.kernels[k].node_id != k) return true;
+  }
+  return false;
+}
 
 [[noreturn]] void Corrupt(const std::string& what) {
   throw std::runtime_error(std::string(kContext) + ": " + what);
@@ -39,8 +53,9 @@ std::string SaveTraceToString(const TraceStore& store) {
   const TraceStore::Columns& c = store.columns();
   std::string out;
   out.reserve(64 + c.inst_pc.size() * 3 + c.NumBlocks() * 2);
+  const bool graph_meta = HasGraphMeta(c);
   out.append(kMagic, sizeof(kMagic));
-  bin::PutU32(out, kVersion);
+  bin::PutU32(out, graph_meta ? kVersionGraph : kVersion);
   PutVarint(out, c.kernels.size());
   PutVarint(out, c.warp_id.size());
   PutVarint(out, c.inst_pc.size());
@@ -55,6 +70,7 @@ std::string SaveTraceToString(const TraceStore& store) {
     PutVarint(out, m.cfg.block.y);
     PutVarint(out, m.cfg.block.z);
     PutVarint(out, m.warp_end - m.warp_begin);
+    if (graph_meta) PutVarint(out, m.node_id);
   }
   for (std::size_t w = 0; w < c.warp_id.size(); ++w) {
     PutVarint(out, c.warp_id[w]);
@@ -77,6 +93,15 @@ std::string SaveTraceToString(const TraceStore& store) {
                                static_cast<std::int64_t>(prev)));
     prev = addr;
   }
+  if (graph_meta) {
+    PutVarint(out, c.edges.size());
+    for (const TraceStore::TraceEdge& e : c.edges) {
+      PutVarint(out, e.producer);
+      PutVarint(out, e.consumer);
+      PutVarint(out, e.object.size());
+      out.append(e.object);
+    }
+  }
   bin::AppendChecksum(out);
   return out;
 }
@@ -98,7 +123,10 @@ std::shared_ptr<const TraceStore> LoadTraceFromString(
   bin::Reader r(body, kContext);
   r.Skip(sizeof(kMagic));
   const std::uint32_t version = r.U32();
-  if (version != kVersion) Corrupt("unsupported version");
+  if (version != kVersion && version != kVersionGraph) {
+    Corrupt("unsupported version");
+  }
+  const bool graph_meta = version == kVersionGraph;
 
   const std::size_t payload = body.size();
   const std::size_t num_kernels =
@@ -136,6 +164,8 @@ std::shared_ptr<const TraceStore> LoadTraceFromString(
     warp_acc += r.Varint();
     if (warp_acc > num_warps) Corrupt("kernel warp count overruns total");
     m.warp_end = static_cast<std::uint32_t>(warp_acc);
+    m.node_id = graph_meta ? static_cast<std::uint32_t>(r.Varint())
+                           : static_cast<std::uint32_t>(k);
     c.kernels.push_back(std::move(m));
   }
   if (warp_acc != num_warps) Corrupt("kernel warp counts disagree");
@@ -169,6 +199,19 @@ std::shared_ptr<const TraceStore> LoadTraceFromString(
     prev += bin::UnZigZag(r.Varint());
     if (prev < 0) Corrupt("negative block address");
     pool.push_back(static_cast<Addr>(prev));
+  }
+  if (graph_meta) {
+    const std::size_t num_edges = CheckedCount(r.Varint(), payload, "edge");
+    c.edges.reserve(num_edges);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      TraceStore::TraceEdge edge;
+      edge.producer = static_cast<std::uint32_t>(r.Varint());
+      edge.consumer = static_cast<std::uint32_t>(r.Varint());
+      const std::size_t obj_len =
+          CheckedCount(r.Varint(), payload, "edge-object");
+      edge.object = r.Bytes(obj_len);
+      c.edges.push_back(std::move(edge));
+    }
   }
   if (r.remaining() != 0) Corrupt("trailing bytes");
   AssignBlockPool(c, std::move(pool));
@@ -210,7 +253,9 @@ TraceTailProbe ProbeParts(std::string_view head, std::string_view tail,
   hr.Skip(sizeof(kMagic));
   TraceTailProbe probe;
   probe.version = hr.U32();
-  if (probe.version != kVersion) Corrupt("unsupported version");
+  if (probe.version != kVersion && probe.version != kVersionGraph) {
+    Corrupt("unsupported version");
+  }
   bin::Reader tr(tail, kContext);
   probe.checksum = tr.U64();
   return probe;

@@ -88,6 +88,14 @@ std::shared_ptr<const TraceStore> TraceStore::FromColumns(Columns cols) {
   if (expect != warps) {
     Malformed("kernel warp ranges do not cover the warp column");
   }
+  for (const TraceEdge& e : cols.edges) {
+    if (e.producer >= cols.kernels.size() ||
+        e.consumer >= cols.kernels.size()) {
+      Malformed("edge endpoint out of kernel range");
+    }
+    if (e.producer == e.consumer) Malformed("self-edge");
+    if (e.object.empty()) Malformed("edge without an object");
+  }
   return std::shared_ptr<const TraceStore>(new TraceStore(std::move(cols)));
 }
 
@@ -105,6 +113,9 @@ std::uint64_t TraceStore::FootprintBytes() const {
   bytes += cols_.inst_block_begin.size() * sizeof(std::uint32_t);
   bytes += cols_.blocks_packed.size() * sizeof(std::uint32_t);
   bytes += cols_.blocks_wide.size() * sizeof(Addr);
+  for (const TraceEdge& e : cols_.edges) {
+    bytes += sizeof(TraceEdge) + e.object.size();
+  }
   return bytes;
 }
 
@@ -149,8 +160,10 @@ void AssignBlockPool(TraceStore::Columns& cols, std::vector<Addr> addrs) {
 }
 
 std::shared_ptr<const TraceStore> BuildStore(
-    std::span<const KernelTrace> kernels) {
+    std::span<const KernelTrace> kernels,
+    std::vector<TraceStore::TraceEdge> edges) {
   TraceStore::Columns cols;
+  cols.edges = std::move(edges);
   cols.kernels.reserve(kernels.size());
   std::size_t total_warps = 0;
   std::size_t total_insts = 0;
@@ -180,6 +193,9 @@ std::shared_ptr<const TraceStore> BuildStore(
     TraceStore::KernelMeta meta;
     meta.name = kt.name;
     meta.cfg = kt.cfg;
+    meta.node_id = kt.node == kNoNode
+                       ? static_cast<std::uint32_t>(cols.kernels.size())
+                       : kt.node;
     meta.warp_begin = static_cast<std::uint32_t>(cols.warp_id.size());
     for (const WarpTrace& wt : kt.warps) {
       cols.warp_id.push_back(wt.warp);
@@ -204,8 +220,10 @@ std::shared_ptr<const TraceStore> BuildStore(
 }
 
 std::shared_ptr<const TraceStore> BuildStore(
-    const std::vector<KernelTrace>& kernels) {
-  return BuildStore(std::span<const KernelTrace>(kernels));
+    const std::vector<KernelTrace>& kernels,
+    std::vector<TraceStore::TraceEdge> edges) {
+  return BuildStore(std::span<const KernelTrace>(kernels),
+                    std::move(edges));
 }
 
 std::vector<KernelTrace> ToKernelTraces(const TraceStore& store) {
@@ -215,6 +233,7 @@ std::vector<KernelTrace> ToKernelTraces(const TraceStore& store) {
     const KernelView kv = store.Kernel(k);
     KernelTrace kt;
     kt.name = kv.name();
+    kt.node = store.columns().kernels[k].node_id;
     kt.cfg = kv.cfg();
     kt.warps.reserve(kv.NumWarps());
     for (std::uint32_t w = 0; w < kv.NumWarps(); ++w) {
@@ -254,19 +273,29 @@ std::uint64_t LegacyFootprintBytes(std::span<const KernelTrace> kernels) {
   return bytes;
 }
 
+std::string KernelStatsLabel(const TraceStore& store, std::uint32_t kernel) {
+  const KernelView kv = store.Kernel(kernel);
+  if (kv.name().empty()) return "kernel#" + std::to_string(kernel);
+  // A launch name reused by several nodes (chunked GEMMs of a graph
+  // app) is keyed by its graph node id so the rows stay distinct;
+  // unique names keep the bare label legacy consumers expect.
+  std::uint32_t with_name = 0;
+  for (std::uint32_t j = 0; j < store.NumKernels(); ++j) {
+    if (store.Kernel(j).name() == kv.name()) ++with_name;
+  }
+  if (with_name <= 1) return kv.name();
+  return kv.name() + "@" +
+         std::to_string(store.columns().kernels[kernel].node_id);
+}
+
 std::vector<KernelStats> PerKernelStats(const TraceStore& store) {
   std::vector<KernelStats> out;
   out.reserve(store.NumKernels());
   for (std::uint32_t k = 0; k < store.NumKernels(); ++k) {
     const KernelView kv = store.Kernel(k);
     KernelStats s;
-    if (kv.name().empty()) {
-      std::ostringstream os;
-      os << "kernel#" << k;
-      s.label = os.str();
-    } else {
-      s.label = kv.name();
-    }
+    s.label = KernelStatsLabel(store, k);
+    s.node = store.columns().kernels[k].node_id;
     s.warps = kv.NumWarps();
     s.mem_insts = kv.TotalMemInsts();
     s.transactions = kv.TotalTransactions();
@@ -285,10 +314,10 @@ void WriteKernelStatsText(const TraceStore& store, std::ostream& os) {
 }
 
 void WriteKernelStatsCsv(const TraceStore& store, std::ostream& os) {
-  os << "kernel,warps,mem_insts,transactions,store_transactions\n";
+  os << "kernel,node,warps,mem_insts,transactions,store_transactions\n";
   for (const KernelStats& s : PerKernelStats(store)) {
-    os << s.label << ',' << s.warps << ',' << s.mem_insts << ','
-       << s.transactions << ',' << s.store_transactions << '\n';
+    os << s.label << ',' << s.node << ',' << s.warps << ',' << s.mem_insts
+       << ',' << s.transactions << ',' << s.store_transactions << '\n';
   }
 }
 

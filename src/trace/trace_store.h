@@ -193,12 +193,29 @@ class TraceStore {
     // Range into the warp columns.
     std::uint32_t warp_begin = 0;
     std::uint32_t warp_end = 0;
+    // Kernel-graph node id of this launch. Equal to the kernel's index
+    // for chain-shimmed (legacy) apps and hand-built traces; may
+    // differ when a DAG's topological order departs from node ids.
+    std::uint32_t node_id = 0;
 
     friend bool operator==(const KernelMeta& a, const KernelMeta& b) {
       return a.name == b.name && a.cfg.grid == b.cfg.grid &&
              a.cfg.block == b.cfg.block && a.warp_begin == b.warp_begin &&
-             a.warp_end == b.warp_end;
+             a.warp_end == b.warp_end && a.node_id == b.node_id;
     }
+  };
+
+  // One producer → consumer data dependency between two store kernels
+  // (indices into the kernels column), labeled with the object that
+  // flows along it. Chain-shim ordering edges are NOT recorded — only
+  // genuine data edges — so legacy stores carry none and their
+  // serialized bytes (and campaign fingerprints) are unchanged.
+  struct TraceEdge {
+    std::uint32_t producer = 0;
+    std::uint32_t consumer = 0;
+    std::string object;
+
+    friend bool operator==(const TraceEdge&, const TraceEdge&) = default;
   };
 
   // The raw columns. The only way to make a store is to hand a filled
@@ -224,6 +241,9 @@ class TraceStore {
     // AssignBlockPool; read through NumBlocks()/BlockAt().
     std::vector<std::uint32_t> blocks_packed;
     std::vector<Addr> blocks_wide;
+    // Producer → consumer data edges, sorted (producer, consumer,
+    // object). Empty for chain-shimmed apps and hand-built traces.
+    std::vector<TraceEdge> edges;
 
     std::size_t NumBlocks() const {
       return blocks_packed.empty() ? blocks_wide.size()
@@ -299,11 +319,15 @@ class TraceStore {
 void AssignBlockPool(TraceStore::Columns& cols, std::vector<Addr> addrs);
 
 // Flattens builder/hand-built kernel traces into a store, preserving
-// kernel, warp, instruction and block order exactly.
+// kernel, warp, instruction and block order exactly. A trace with
+// node == kNoNode gets its kernel index as node_id. `edges` carries
+// the graph's data edges (kernel indices), if any.
 std::shared_ptr<const TraceStore> BuildStore(
-    std::span<const KernelTrace> kernels);
+    std::span<const KernelTrace> kernels,
+    std::vector<TraceStore::TraceEdge> edges = {});
 std::shared_ptr<const TraceStore> BuildStore(
-    const std::vector<KernelTrace>& kernels);
+    const std::vector<KernelTrace>& kernels,
+    std::vector<TraceStore::TraceEdge> edges = {});
 
 // Reconstructs the legacy AoS representation (round-trip inverse of
 // BuildStore); used by the RMT baseline transform and equivalence
@@ -317,16 +341,25 @@ std::uint64_t LegacyFootprintBytes(std::span<const KernelTrace> kernels);
 
 // Per-kernel statistics from the cached totals — the one shared helper
 // behind `dcrm analyze` (text + CSV) and campaign result reporting.
+// Rows are keyed on (graph node id, launch name): a name that appears
+// on several launches (chunked GEMMs) is disambiguated as "name@node",
+// so repeated kernels never collide into one indistinguishable row;
+// unique names keep their bare label (legacy output unchanged).
 struct KernelStats {
-  std::string label;  // kernel name, or "kernel#N" when unnamed
+  std::string label;  // name, "name@node" when repeated, "kernel#N" unnamed
+  std::uint32_t node = 0;  // graph node id
   std::uint32_t warps = 0;
   std::uint64_t mem_insts = 0;
   std::uint64_t transactions = 0;
   std::uint64_t store_transactions = 0;
 };
 std::vector<KernelStats> PerKernelStats(const TraceStore& store);
+// Shared labeling rule (also used by the vulnerability per-kernel
+// rollup): bare name when unique in the store, "name@node" when the
+// name repeats, "kernel#index" when unnamed.
+std::string KernelStatsLabel(const TraceStore& store, std::uint32_t kernel);
 void WriteKernelStatsText(const TraceStore& store, std::ostream& os);
-// CSV header: kernel,warps,mem_insts,transactions,store_transactions
+// CSV header: kernel,node,warps,mem_insts,transactions,store_transactions
 void WriteKernelStatsCsv(const TraceStore& store, std::ostream& os);
 
 // ---- inline cursor implementations (the replay hot path) ----

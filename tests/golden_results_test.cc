@@ -177,7 +177,8 @@ TEST(GoldenResults, ReplayCycleCountsPerApp) {
       {"A-Sobel", 1464},        {"A-SRAD", 1592},
       {"P-ATAX", 21917},        {"C-ConvRows", 1258},
       {"C-Histogram", 15953},   {"C-BlackScholes", 738},
-      {"P-GRAMSCHM", 289130},
+      {"P-GRAMSCHM", 289130},   {"L-Transformer", 15524},
+      {"L-MLP2", 7238},
   };
   ASSERT_EQ(std::size(pins), apps::AllAppNames().size());
   for (const Pin& p : pins) {

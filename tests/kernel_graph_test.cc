@@ -1,0 +1,455 @@
+// Kernel-graph runtime tests: structural validation (cycles, missing
+// producers, dangling consumers), deterministic topological order, the
+// single-chain compatibility shim's bit-identity for every legacy app,
+// version-2 trace serialization with graph metadata, node-keyed kernel
+// stats, cross-kernel ACE liveness over data edges, and the
+// cross-kernel hotness view of the DAG workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/vulnerability.h"
+#include "apps/app.h"
+#include "apps/registry.h"
+#include "core/access_profile.h"
+#include "exec/kernel_graph.h"
+#include "exec/launcher.h"
+#include "mem/device_memory.h"
+#include "trace/graph_stats.h"
+#include "trace/trace_builder.h"
+#include "trace/trace_io.h"
+#include "trace/trace_store.h"
+
+namespace dcrm {
+namespace {
+
+exec::GraphNode Node(std::string name, std::vector<std::string> reads = {},
+                     std::vector<std::string> writes = {}) {
+  exec::GraphNode n;
+  n.name = std::move(name);
+  n.cfg.grid = {1, 1, 1};
+  n.cfg.block = {1, 1, 1};
+  n.body = [](exec::ThreadCtx&) {};
+  n.reads = std::move(reads);
+  n.writes = std::move(writes);
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Structural validation.
+
+TEST(KernelGraph, SelfEdgeThrowsImmediately) {
+  exec::KernelGraph g;
+  g.AddNode(Node("a"));
+  EXPECT_THROW(g.AddEdge(0, 0), std::invalid_argument);
+}
+
+TEST(KernelGraph, OutOfRangeEdgeThrowsImmediately) {
+  exec::KernelGraph g;
+  g.AddNode(Node("a"));
+  EXPECT_THROW(g.AddEdge(0, 5), std::invalid_argument);
+  EXPECT_THROW(g.AddEdge(5, 0), std::invalid_argument);
+}
+
+TEST(KernelGraph, CycleThrows) {
+  exec::KernelGraph g;
+  g.AddNode(Node("a"));
+  g.AddNode(Node("b"));
+  g.AddNode(Node("c"));
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+  EXPECT_THROW(g.TopoOrder(), std::invalid_argument);
+}
+
+TEST(KernelGraph, MissingProducerThrows) {
+  exec::KernelGraph g;
+  g.AddNode(Node("w", {}, {"x"}));
+  g.AddNode(Node("r", {"x", "y"}, {}));
+  // Data edge claims object "y" flows from a node that never writes it.
+  g.AddEdge(0, 1, "y");
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+}
+
+TEST(KernelGraph, DanglingConsumerThrows) {
+  exec::KernelGraph g;
+  g.AddNode(Node("w", {}, {"x"}));
+  g.AddNode(Node("r", {}, {}));
+  // Data edge claims "x" flows into a node that never reads it.
+  g.AddEdge(0, 1, "x");
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+}
+
+TEST(KernelGraph, ValidDataEdgePasses) {
+  exec::KernelGraph g;
+  g.AddNode(Node("w", {}, {"x"}));
+  g.AddNode(Node("r", {"x"}, {}));
+  g.AddEdge(0, 1, "x");
+  EXPECT_NO_THROW(g.Validate());
+}
+
+// ---------------------------------------------------------------------
+// Deterministic topological order.
+
+TEST(KernelGraph, DiamondTopoOrderIsMinNodeId) {
+  exec::KernelGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(Node("n"));
+  // Insert edges out of order; the schedule must not depend on it.
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.TopoOrder(), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(KernelGraph, ReadyTieBreakPicksSmallestId) {
+  exec::KernelGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode(Node("n"));
+  g.AddEdge(0, 2);
+  // After node 0, both 1 and 2 are ready; 1 wins by id.
+  EXPECT_EQ(g.TopoOrder(), (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(KernelGraph, ConnectByObjectsLinksEveryPriorWriter) {
+  exec::KernelGraph g;
+  g.AddNode(Node("w1", {}, {"o"}));
+  g.AddNode(Node("w2", {}, {"o"}));
+  g.AddNode(Node("r", {"o"}, {}));
+  g.ConnectByObjects();
+  EXPECT_NO_THROW(g.Validate());
+  const auto data = g.DataEdges();
+  // Both partial writers feed the reader; the writer-writer hazard is
+  // an ordering edge, not a data edge.
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0], (exec::GraphEdge{0, 2, "o"}));
+  EXPECT_EQ(data[1], (exec::GraphEdge{1, 2, "o"}));
+  EXPECT_TRUE(std::any_of(
+      g.Edges().begin(), g.Edges().end(),
+      [](const exec::GraphEdge& e) {
+        return e.producer == 0 && e.consumer == 1 && e.object.empty();
+      }));
+  EXPECT_EQ(g.TopoOrder(), (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------
+// Compatibility shim: every legacy app's graph is a chain that runs in
+// list order and serializes to byte-identical version-1 artifacts.
+
+std::vector<trace::KernelTrace> RunLegacyList(apps::App& app,
+                                              mem::DeviceMemory& dev) {
+  exec::DirectDataPlane plane(dev);
+  std::vector<trace::KernelTrace> traces;
+  for (auto& k : app.Kernels()) {
+    trace::TraceBuilder builder;
+    exec::LaunchKernel(k.cfg, plane, &builder, k.body);
+    traces.push_back(builder.Build(k.cfg));
+    traces.back().name = k.name;
+  }
+  return traces;
+}
+
+// The driver's graph walk, minus the profiler: topological order,
+// node-id-stamped traces, data edges mapped to kernel indices.
+std::shared_ptr<const trace::TraceStore> RunGraphWalk(
+    apps::App& app, mem::DeviceMemory& dev) {
+  exec::DirectDataPlane plane(dev);
+  exec::KernelGraph graph = app.Graph();
+  const auto order = graph.TopoOrder();
+  std::vector<std::uint32_t> kernel_of(graph.NumNodes(), 0);
+  std::vector<trace::KernelTrace> traces;
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::uint32_t id = order[idx];
+    exec::GraphNode& node = graph.Node(id);
+    kernel_of[id] = static_cast<std::uint32_t>(idx);
+    trace::TraceBuilder builder;
+    exec::LaunchKernel(node.cfg, plane, &builder, node.body);
+    traces.push_back(builder.Build(node.cfg));
+    traces.back().name = node.name;
+    traces.back().node = id;
+  }
+  std::vector<trace::TraceStore::TraceEdge> edges;
+  for (const exec::GraphEdge& e : graph.DataEdges()) {
+    edges.push_back(trace::TraceStore::TraceEdge{
+        kernel_of[e.producer], kernel_of[e.consumer], e.object});
+  }
+  return trace::BuildStore(traces, std::move(edges));
+}
+
+std::vector<std::string> LegacyAppNames() {
+  std::vector<std::string> names = apps::AllAppNames();
+  for (const std::string& g : apps::GraphAppNames()) {
+    names.erase(std::remove(names.begin(), names.end(), g), names.end());
+  }
+  return names;
+}
+
+TEST(GraphShim, LegacyAppsSerializeBitIdenticallyToVersion1) {
+  for (const std::string& name : LegacyAppNames()) {
+    auto app1 = apps::MakeApp(name, apps::AppScale::kTiny);
+    mem::DeviceMemory dev1;
+    app1->Setup(dev1);
+    const auto legacy = trace::BuildStore(RunLegacyList(*app1, dev1));
+
+    auto app2 = apps::MakeApp(name, apps::AppScale::kTiny);
+    mem::DeviceMemory dev2;
+    app2->Setup(dev2);
+    const auto graph = RunGraphWalk(*app2, dev2);
+
+    const std::string legacy_bytes = trace::SaveTraceToString(*legacy);
+    const std::string graph_bytes = trace::SaveTraceToString(*graph);
+    EXPECT_EQ(legacy_bytes, graph_bytes) << name;
+    EXPECT_EQ(trace::ProbeTraceTailBytes(graph_bytes).version, 1u) << name;
+  }
+}
+
+TEST(GraphShim, ShimGraphIsChainOfOrderingEdges) {
+  for (const std::string& name : LegacyAppNames()) {
+    auto app = apps::MakeApp(name, apps::AppScale::kTiny);
+    mem::DeviceMemory dev;
+    app->Setup(dev);
+    exec::KernelGraph g = app->Graph();
+    EXPECT_TRUE(g.DataEdges().empty()) << name;
+    ASSERT_GE(g.NumNodes(), 1u) << name;
+    EXPECT_EQ(g.Edges().size(), g.NumNodes() - 1u) << name;
+    const auto order = g.TopoOrder();
+    for (std::uint32_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], i) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Version-2 serialization: graph metadata round-trips, legacy loaders
+// of both versions agree through ProbeTraceTail.
+
+TEST(GraphTraceIo, GraphStoreRoundTripsAsVersion2) {
+  auto app = apps::MakeApp("L-Transformer", apps::AppScale::kTiny);
+  mem::DeviceMemory dev;
+  app->Setup(dev);
+  const auto store = RunGraphWalk(*app, dev);
+  ASSERT_FALSE(store->columns().edges.empty());
+
+  const std::string bytes = trace::SaveTraceToString(*store);
+  EXPECT_EQ(trace::ProbeTraceTailBytes(bytes).version, 2u);
+  const auto loaded = trace::LoadTraceFromString(bytes);
+  // Full columnar equality: node ids and the edge table included.
+  EXPECT_TRUE(*loaded == *store);
+  // And the reload serializes to the same bytes.
+  EXPECT_EQ(trace::SaveTraceToString(*loaded), bytes);
+}
+
+TEST(GraphTraceIo, EdgeValidationRejectsMalformedColumns) {
+  auto app = apps::MakeApp("L-MLP2", apps::AppScale::kTiny);
+  mem::DeviceMemory dev;
+  app->Setup(dev);
+  const auto store = RunGraphWalk(*app, dev);
+  trace::TraceStore::Columns cols = store->columns();
+  cols.edges.push_back({99, 0, "X"});
+  EXPECT_THROW(trace::TraceStore::FromColumns(std::move(cols)),
+               std::invalid_argument);
+  trace::TraceStore::Columns cols2 = store->columns();
+  cols2.edges.push_back({0, 0, "X"});
+  EXPECT_THROW(trace::TraceStore::FromColumns(std::move(cols2)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Node-keyed per-kernel stats: repeated launch names stay distinct.
+
+TEST(GraphStats, RepeatedKernelNamesAreKeyedByNode) {
+  auto app = apps::MakeApp("L-Transformer", apps::AppScale::kTiny);
+  mem::DeviceMemory dev;
+  app->Setup(dev);
+  const auto store = RunGraphWalk(*app, dev);
+  const auto stats = trace::PerKernelStats(*store);
+  ASSERT_EQ(stats.size(), 11u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(stats[i].label, "qkv_gemm@" + std::to_string(i));
+    EXPECT_EQ(stats[i].node, i);
+  }
+  EXPECT_EQ(stats[6].label, "attn_score");  // unique names stay bare
+  std::ostringstream os;
+  trace::WriteKernelStatsCsv(*store, os);
+  EXPECT_EQ(os.str().substr(0, os.str().find('\n')),
+            "kernel,node,warps,mem_insts,transactions,store_transactions");
+}
+
+TEST(GraphStats, EdgeReuseMeasuresProducerConsumerIntersection) {
+  auto app = apps::MakeApp("L-MLP2", apps::AppScale::kTiny);
+  mem::DeviceMemory dev;
+  app->Setup(dev);
+  const auto store = RunGraphWalk(*app, dev);
+  const auto reuse = trace::ComputeEdgeReuse(*store);
+  ASSERT_EQ(reuse.size(), 2u);  // h0 and h1 chains
+  for (const auto& r : reuse) {
+    EXPECT_GT(r.reused_blocks, 0u);
+    EXPECT_EQ(r.reused_bytes, r.reused_blocks * kBlockSize);
+    EXPECT_TRUE(r.object == "h0" || r.object == "h1");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cross-kernel ACE liveness: a value written by one kernel and read by
+// the next is live across the kernel boundary, and the edge rollup
+// reports exactly the crossing blocks.
+
+trace::KernelTrace OneInstKernel(const char* name, std::uint32_t node,
+                                 Pc pc, AccessType type,
+                                 std::uint64_t block) {
+  trace::KernelTrace kt;
+  kt.name = name;
+  kt.node = node;
+  trace::WarpTrace wt;
+  wt.warp = 0;
+  wt.insts.push_back({pc, type, kWarpSize, {block * kBlockSize}});
+  kt.warps.push_back(std::move(wt));
+  return kt;
+}
+
+TEST(GraphVulnerability, LiveIntervalSpansConsumerEdge) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("t", kBlockSize, false);
+  const auto store = trace::BuildStore(
+      std::vector<trace::KernelTrace>{
+          OneInstKernel("producer", 0, 1, AccessType::kStore, 0),
+          OneInstKernel("consumer", 1, 2, AccessType::kLoad, 0)},
+      {{0, 1, "t"}});
+  const auto map =
+      analysis::AnalyzeVulnerability(*store, dev.space(), {});
+  ASSERT_EQ(map.total_transactions, 2u);
+  const analysis::BlockLiveness* b = map.Find(0);
+  ASSERT_NE(b, nullptr);
+  // Store in kernel 0 at slot 0, load in kernel 1 at slot 1: the value
+  // is ACE across the whole inter-kernel interval.
+  EXPECT_EQ(b->live_spans, 1u);
+  EXPECT_EQ(b->ace_transactions, 2u);
+  EXPECT_DOUBLE_EQ(b->avf, 1.0);
+
+  ASSERT_EQ(map.kernels.size(), 2u);
+  EXPECT_EQ(map.kernels[0].label, "producer");
+  EXPECT_EQ(map.kernels[0].node, 0u);
+  EXPECT_EQ(map.kernels[1].node, 1u);
+
+  ASSERT_EQ(map.edges.size(), 1u);
+  EXPECT_EQ(map.edges[0].producer_label, "producer");
+  EXPECT_EQ(map.edges[0].consumer_label, "consumer");
+  EXPECT_EQ(map.edges[0].object, "t");
+  EXPECT_EQ(map.edges[0].reused_blocks, 1u);
+  EXPECT_DOUBLE_EQ(map.edges[0].mean_avf, 1.0);
+}
+
+TEST(GraphVulnerability, UnreusedEdgeReportsZeroCrossingBlocks) {
+  mem::DeviceMemory dev;
+  dev.space().Allocate("t", 2 * kBlockSize, false);
+  // Producer writes block 0; consumer reads block 1 — the edge exists
+  // structurally but no written value crosses it.
+  const auto store = trace::BuildStore(
+      std::vector<trace::KernelTrace>{
+          OneInstKernel("producer", 0, 1, AccessType::kStore, 0),
+          OneInstKernel("consumer", 1, 2, AccessType::kLoad, 1)},
+      {{0, 1, "t"}});
+  const auto map =
+      analysis::AnalyzeVulnerability(*store, dev.space(), {});
+  ASSERT_EQ(map.edges.size(), 1u);
+  EXPECT_EQ(map.edges[0].reused_blocks, 0u);
+  EXPECT_DOUBLE_EQ(map.edges[0].mean_avf, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// The DAG workloads: structure, and the cross-kernel hotness claim —
+// shared weight tensors accumulate reads across launches that no
+// single-kernel view would credit them with.
+
+TEST(GraphApps, TransformerGraphValidatesAndChunksShareWeights) {
+  auto app = apps::MakeApp("L-Transformer", apps::AppScale::kTiny);
+  mem::DeviceMemory dev;
+  app->Setup(dev);
+  exec::KernelGraph g = app->Graph();
+  EXPECT_NO_THROW(g.Validate());
+  EXPECT_EQ(g.NumNodes(), 11u);
+  const auto data = g.DataEdges();
+  // Both Q-half producers feed attn_score, both V-halves feed
+  // attn_ctx: the every-prior-writer semantics on chunked GEMMs.
+  const auto count_obj = [&](const char* obj) {
+    return std::count_if(data.begin(), data.end(),
+                         [&](const exec::GraphEdge& e) {
+                           return e.object == obj;
+                         });
+  };
+  EXPECT_EQ(count_obj("Q"), 2);
+  EXPECT_EQ(count_obj("K"), 2);
+  EXPECT_EQ(count_obj("V"), 2);
+  EXPECT_EQ(count_obj("scores"), 1);
+  EXPECT_EQ(count_obj("attn_out"), 1);
+}
+
+TEST(GraphApps, CrossKernelHotnessRanksSharedWeightsAboveSingleKernel) {
+  for (const std::string& name : apps::GraphAppNames()) {
+    auto app = apps::MakeApp(name, apps::AppScale::kTiny);
+    mem::DeviceMemory dev;
+    app->Setup(dev);
+    core::AccessProfiler prof;
+    prof.AttachSpace(&dev.space());
+    exec::DirectDataPlane plane(dev);
+    exec::KernelGraph graph = app->Graph();
+    for (const std::uint32_t id : graph.TopoOrder()) {
+      exec::GraphNode& node = graph.Node(id);
+      prof.BeginKernel(node.cfg);
+      exec::LaunchKernel(node.cfg, plane, &prof, node.body);
+      prof.EndKernel();
+    }
+    const auto objs = core::AggregateByObject(prof, dev.space());
+    const auto find = [&](const char* n) {
+      const auto it = std::find_if(
+          objs.begin(), objs.end(),
+          [&](const core::ObjectProfile& o) { return o.name == n; });
+      EXPECT_NE(it, objs.end()) << name << "/" << n;
+      return *it;
+    };
+    if (name == "L-Transformer") {
+      // X feeds all six projection chunks and the layernorm residual.
+      EXPECT_EQ(find("X").kernels_reading, 7u);
+      for (const char* w : {"Wq", "Wk", "Wv"}) {
+        const auto op = find(w);
+        EXPECT_EQ(op.kernels_reading, 2u) << w;
+        // The cross-kernel total strictly exceeds what any one launch
+        // sees — the single-kernel view under-ranks the shared tensor.
+        EXPECT_GT(op.reads, op.max_kernel_reads) << w;
+        EXPECT_EQ(op.reads, 2 * op.max_kernel_reads) << w;
+      }
+    } else {
+      for (const char* w : {"W1", "W2"}) {
+        const auto op = find(w);
+        EXPECT_EQ(op.kernels_reading, 2u) << w;
+        EXPECT_GT(op.reads, op.max_kernel_reads) << w;
+      }
+    }
+  }
+}
+
+TEST(GraphApps, Mlp2GraphHasTwoIndependentChains) {
+  auto app = apps::MakeApp("L-MLP2", apps::AppScale::kTiny);
+  mem::DeviceMemory dev;
+  app->Setup(dev);
+  exec::KernelGraph g = app->Graph();
+  EXPECT_NO_THROW(g.Validate());
+  EXPECT_EQ(g.NumNodes(), 4u);
+  const auto data = g.DataEdges();
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0], (exec::GraphEdge{0, 2, "h0"}));
+  EXPECT_EQ(data[1], (exec::GraphEdge{1, 3, "h1"}));
+  // The two fc2 launches both write Y: sequential consistency demands
+  // an ordering edge between the partial writers.
+  EXPECT_TRUE(std::any_of(
+      g.Edges().begin(), g.Edges().end(),
+      [](const exec::GraphEdge& e) {
+        return e.producer == 2 && e.consumer == 3 && e.object.empty();
+      }));
+}
+
+}  // namespace
+}  // namespace dcrm

@@ -4,7 +4,7 @@
 //   dcrm config                                print the default hardware
 //                                              config file (edit & pass back
 //                                              via --config=FILE)
-//   dcrm profile <app> [--save=FILE] [--save-trace=FILE]
+//   dcrm profile <app> [--save=FILE] [--save-trace=FILE] [--graph]
 //                                              offline profiling run: hot
 //                                              classification + Table III;
 //                                              --save-trace records the
@@ -98,6 +98,7 @@
 #include "service/render.h"
 #include "service/server.h"
 #include "sim/config_io.h"
+#include "trace/graph_stats.h"
 #include "trace/trace_io.h"
 #include "trace/trace_store.h"
 
@@ -148,6 +149,7 @@ struct CliArgs {
   unsigned jobs = 1;  // campaign worker count (0 = hardware threads)
   std::vector<std::string> objects;  // explicit cover (analyze, campaign)
   std::string csv_path;              // analyze/campaign/shard: CSV output
+  bool graph = false;  // profile: dump kernel-graph topology + edge reuse
   bool allow_unsound = false;        // campaign: skip the launch gate
   // Campaign: restrict trials to statically SDC-reachable blocks
   // (unbiased via the stored weight share) / gate the finished counts
@@ -200,6 +202,8 @@ int Usage() {
          "       --engine=cycle|event (replay engine; bit-identical "
          "results, event skips idle cycles)\n"
          "       --save=FILE --save-trace=FILE (profile)\n"
+         "       --graph (profile: dump kernel-graph topology + per-edge "
+         "reused bytes; with --csv writes the edge table)\n"
          "       --load-trace=FILE (profile, timing, campaign, analyze)\n"
          "       --scheme=none|detect|correct --cover=N (timing, campaign, "
          "analyze)\n"
@@ -320,6 +324,10 @@ bool ParseFlag(CliArgs& args, const std::string& a) {
   }
   if (auto v = value("--csv=")) {
     args.csv_path = *v;
+    return true;
+  }
+  if (a == "--graph") {
+    args.graph = true;
     return true;
   }
   if (a == "--allow-unsound") {
@@ -474,6 +482,18 @@ int CmdProfile(CliArgs& args) {
             << "% of application memory, "
             << 100 * profile.hot.hot_access_share
             << "% of memory transactions\n";
+  if (args.graph) {
+    trace::WriteGraphText(*profile.trace_store, std::cout);
+    if (!args.csv_path.empty()) {
+      std::ofstream os(args.csv_path);
+      if (!os) {
+        std::cerr << "cannot write " << args.csv_path << '\n';
+        return 1;
+      }
+      trace::WriteGraphCsv(*profile.trace_store, os);
+      std::cout << "graph table saved to " << args.csv_path << '\n';
+    }
+  }
   if (!args.save_path.empty()) {
     std::ofstream os(args.save_path);
     if (!os) {
